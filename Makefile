@@ -1,0 +1,31 @@
+# Convenience targets for the MNP reproduction.
+
+.PHONY: install test bench bench-paper bench-smoke examples figures clean
+
+install:
+	pip install -e . || python setup.py develop
+	pip install pytest pytest-benchmark hypothesis
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+bench-smoke:
+	REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only -q
+
+bench-paper:
+	REPRO_SCALE=paper pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+figures:
+	python -m repro figure list
+	for fig in table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 sec5; do \
+		echo "== $$fig"; python -m repro figure $$fig; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

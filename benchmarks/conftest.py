@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and saves
+its textual rendering under ``benchmarks/out/`` (also printed, visible
+with ``pytest -s``).  Benchmarks honour ``REPRO_SCALE`` (default reduced
+sizes; ``paper`` for the full 20x20 configuration -- see
+``repro/experiments/scale.py``).
+
+Figures 8, 9, 11, and 12 all read the same large-grid run, which is
+computed once per session and cached.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_report(name, text):
+    """Persist a figure/table rendering and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def grid_run():
+    """The shared Figs. 8/9/11/12 simulation run (computed once)."""
+    from repro.experiments.active_radio import run_simulation_grid
+
+    return run_simulation_grid(seed=1)
+
+
+@pytest.fixture(scope="session")
+def propagation_runs():
+    """Single-segment MNP and Deluge runs for Fig. 13 (computed once)."""
+    from repro.experiments.propagation import run_propagation
+
+    return {
+        "mnp": run_propagation(seed=1, protocol="mnp"),
+        "deluge": run_propagation(seed=1, protocol="deluge"),
+    }

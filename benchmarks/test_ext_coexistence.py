@@ -1,0 +1,36 @@
+"""Extension (§2 coexistence): what reprogramming does to live traffic.
+
+The paper requires dissemination to run "together with other
+applications" but never measures the interaction.  This bench runs a
+periodic sensing application (convergecast to a sink) in three worlds:
+quiet network, MNP reprogramming, and Deluge reprogramming.
+
+Shape claims: both protocols finish with full coverage while the app
+runs; reprogramming costs application delivery; MNP's sleeping silences
+relays, so its coexistence cost exceeds Deluge's -- the honest flip side
+of the energy savings.
+"""
+
+from repro.experiments.extensions import coexistence, coexistence_report
+
+from conftest import save_report
+
+
+def test_ext_coexistence(benchmark):
+    def run_all():
+        return (
+            coexistence(None, rows=6, cols=6, n_segments=2, seed=1),
+            coexistence("mnp", rows=6, cols=6, n_segments=2, seed=1),
+            coexistence("deluge", rows=6, cols=6, n_segments=2, seed=1),
+        )
+
+    quiet, mnp, deluge = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_report("ext_coexistence",
+                coexistence_report([quiet, mnp, deluge]))
+
+    assert mnp.coverage == 1.0
+    assert deluge.coverage == 1.0
+    # Reprogramming hurts the application...
+    assert mnp.delivery_ratio < quiet.delivery_ratio
+    # ...and MNP's radio sleeping hurts it more than Deluge's contention.
+    assert mnp.delivery_ratio < deluge.delivery_ratio

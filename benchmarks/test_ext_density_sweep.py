@@ -1,0 +1,38 @@
+"""Extension: node-density sweep (the dual of the paper's power sweep).
+
+Figs. 5-7 vary transmission power over a fixed grid; stretching the grid
+spacing at fixed range probes the same neighborhood-size axis.
+
+Shape claims (mirroring "at a lower power level, more nodes become
+senders and each sender has a smaller group of followers"): sparser
+deployments need more hops and elect more senders; denser deployments
+concentrate forwarding in fewer senders; coverage is 100% throughout.
+"""
+
+from repro.experiments.density import density_report, run_density_sweep
+
+from conftest import save_report
+
+SPACINGS = (6.0, 10.0, 16.0)
+
+
+def test_ext_density_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_density_sweep,
+        kwargs={"spacings": SPACINGS, "protocol": "mnp", "seed": 1},
+        rounds=1, iterations=1,
+    )
+    deluge_points = run_density_sweep(spacings=SPACINGS,
+                                      protocol="deluge", seed=1)
+    save_report("ext_density_sweep",
+                density_report(points + deluge_points))
+
+    assert all(p.coverage == 1.0 for p in points)
+    # Sparser -> smaller neighborhoods -> more hops.
+    hops = [p.max_hops for p in points]
+    assert hops == sorted(hops) and hops[-1] > hops[0]
+    # Sparser -> more distinct senders (smaller follower groups each).
+    senders = [p.senders for p in points]
+    assert senders[-1] > senders[0]
+    # Denser -> more mutually audible traffic -> more collisions for MNP.
+    assert points[0].collisions > points[-1].collisions

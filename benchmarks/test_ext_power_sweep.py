@@ -1,0 +1,33 @@
+"""Extension: the full power-level curve behind Figs. 5-7.
+
+The paper samples two power levels per grid; this bench sweeps from the
+minimum connecting level to full power on the indoor 5x5 grid.
+
+Shape claims: coverage is 100% at every connecting level; lower power
+means more hops, more senders, longer completion, and higher energy --
+monotone trends end to end.
+"""
+
+from repro.experiments.power_sweep import power_report, run_power_sweep
+
+from conftest import save_report
+
+
+def test_ext_power_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_power_sweep, kwargs={"seed": 1, "program_packets": 128},
+        rounds=1, iterations=1,
+    )
+    save_report("ext_power_sweep", power_report(points))
+
+    assert len(points) >= 3
+    assert all(p.coverage == 1.0 for p in points)
+    lowest, highest = points[0], points[-1]
+    # Lower power: smaller neighborhoods, more relaying work.
+    assert lowest.range_ft < highest.range_ft
+    assert lowest.senders > highest.senders
+    assert lowest.completion_s > highest.completion_s
+    assert lowest.mean_energy_nah > highest.mean_energy_nah
+    # hop counts never increase with power
+    hops = [p.max_hops for p in points if p.max_hops is not None]
+    assert hops == sorted(hops, reverse=True)

@@ -1,0 +1,32 @@
+"""Fig. 10: completion time and active radio time vs program size.
+
+Shape claims: completion time grows linearly with the number of segments;
+the average active radio time stays a roughly constant, small fraction of
+the completion time (the paper quotes ~30%; our substrate lands in the
+30-60% band at reduced scale); ART without initial idle listening is
+lower still.
+"""
+
+from repro.experiments.size_sweep import fig10_report, linearity_r2, run_sweep
+
+from conftest import save_report
+
+
+def test_fig10_size_sweep(benchmark):
+    points = benchmark.pedantic(run_sweep, kwargs={"seed": 1},
+                                rounds=1, iterations=1)
+    save_report("fig10_size_sweep", fig10_report(points))
+
+    assert all(p.completion_s for p in points)
+    # Completion time linear in program size.
+    assert linearity_r2(points) > 0.97
+    sizes = [p.n_segments for p in points]
+    completions = [p.completion_s for p in points]
+    assert completions == sorted(completions) or len(sizes) <= 2
+    # ART stays a bounded fraction of completion and shrinks relatively
+    # as pipelining amortizes the handshakes.
+    for p in points:
+        assert p.art_fraction < 0.85
+        assert p.art_no_init_s <= p.art_s
+    if len(points) >= 3:
+        assert points[-1].art_fraction <= points[0].art_fraction

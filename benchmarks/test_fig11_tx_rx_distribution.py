@@ -1,0 +1,32 @@
+"""Fig. 11: transmission and reception distribution over the grid.
+
+Shape claims: the base station transmits the most messages (all data
+originates there); nodes near the base transmit more than the average;
+interior nodes receive more messages than corner nodes (more neighbors).
+"""
+
+from repro.experiments.active_radio import fig11_report
+
+from conftest import save_report
+
+
+def test_fig11_tx_rx_distribution(benchmark, grid_run):
+    run = grid_run
+    report = benchmark.pedantic(fig11_report, args=(run,),
+                                rounds=1, iterations=1)
+    save_report("fig11_tx_rx_distribution", report)
+
+    tx = run.messages_sent()
+    rx = run.messages_received()
+    topo = run.deployment.topology
+    base = run.deployment.base_id
+    mean_tx = sum(tx.values()) / len(topo)
+    # The base station is the top transmitter (or at least far above
+    # average -- ties can occur at small scales).
+    assert tx[base] > 1.5 * mean_tx
+    # Interior nodes hear more than corner nodes.
+    center = topo.center_node()
+    corners = [topo.corner_node(c) for c in
+               ("bottom-left", "bottom-right", "top-left", "top-right")]
+    corner_rx = sum(rx.get(c, 0) for c in corners) / len(corners)
+    assert rx.get(center, 0) > corner_rx

@@ -1,0 +1,32 @@
+"""Fig. 5: indoor 5x5 mote grid at power levels 1 and 2.
+
+Shape claims: full coverage at both power levels; the sender selection
+keeps the set of senders a strict subset of the nodes; at the lower power
+level more nodes obtain the code from intermediate senders rather than
+the base station.
+"""
+
+from repro.experiments.mote_grids import fig5_indoor
+
+from conftest import save_report
+
+
+def test_fig5_indoor_grid(benchmark):
+    results = benchmark.pedantic(fig5_indoor, kwargs={"seed": 1},
+                                 rounds=1, iterations=1)
+    report = "\n\n".join(results[level].render() for level in sorted(results))
+    save_report("fig5_indoor_grid", report)
+
+    for level, res in results.items():
+        assert res.run.all_complete, f"power {level} incomplete"
+        senders = res.sender_order()
+        assert senders[0] == res.deployment.base_id
+        assert len(senders) < len(res.deployment.topology)
+
+    # Lower power -> smaller base neighborhood -> fewer direct children
+    # of the base station.
+    def base_children(res):
+        base = res.deployment.base_id
+        return sum(1 for p in res.parent_map().values() if p == base)
+
+    assert base_children(results[1]) <= base_children(results[2])

@@ -1,0 +1,34 @@
+"""Fig. 6: outdoor 7x7 mote grid at full power and power level 10.
+
+Shape claims: full coverage; at full power the base station covers most
+of the field directly; at power 10 more intermediate senders appear, each
+with fewer followers.
+"""
+
+from repro.experiments.mote_grids import fig6_outdoor
+
+from conftest import save_report
+
+
+def test_fig6_outdoor_grid(benchmark):
+    results = benchmark.pedantic(fig6_outdoor, kwargs={"seed": 1},
+                                 rounds=1, iterations=1)
+    report = "\n\n".join(
+        results[level].render() for level in sorted(results, reverse=True)
+    )
+    save_report("fig6_outdoor_grid", report)
+
+    full, low = results[255], results[10]
+    assert full.run.all_complete and low.run.all_complete
+
+    def base_children(res):
+        base = res.deployment.base_id
+        return sum(1 for p in res.parent_map().values() if p == base)
+
+    n_nodes = len(full.deployment.topology)
+    # Full power: the base reaches most of the 24x24 ft field directly.
+    assert base_children(full) > n_nodes / 2
+    # Lower power: more hops, fewer direct children of the base.
+    assert base_children(low) < base_children(full)
+    # ...and each sender serves a smaller group on average.
+    assert len(low.sender_order()) >= len(full.sender_order())

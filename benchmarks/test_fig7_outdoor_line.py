@@ -1,0 +1,36 @@
+"""Fig. 7: outdoor 2x10 mote grid (a long strip) at full power and power
+level 10 -- the layout the paper uses to examine multihop behaviour.
+
+Shape claims: full coverage; at the lower power level the strip needs
+more hops, so nodes far along the strip obtain code from senders that are
+themselves far from the base (senders 'move' down the strip).
+"""
+
+from repro.experiments.mote_grids import fig7_outdoor_line
+
+from conftest import save_report
+
+
+def test_fig7_outdoor_line(benchmark):
+    results = benchmark.pedantic(fig7_outdoor_line, kwargs={"seed": 1},
+                                 rounds=1, iterations=1)
+    report = "\n\n".join(
+        results[level].render() for level in sorted(results, reverse=True)
+    )
+    save_report("fig7_outdoor_line", report)
+
+    full, low = results[255], results[10]
+    assert full.run.all_complete and low.run.all_complete
+
+    def mean_parent_link_ft(res):
+        topo = res.deployment.topology
+        links = [
+            topo.distance(child, parent)
+            for child, parent in res.parent_map().items()
+        ]
+        return sum(links) / len(links)
+
+    # At low power the radio range shrinks, so each child's link to its
+    # parent is shorter and more hops are involved.
+    assert mean_parent_link_ft(low) < mean_parent_link_ft(full)
+    assert len(low.sender_order()) >= len(full.sender_order())

@@ -1,0 +1,36 @@
+"""Fig. 8: active radio time per node on the large simulated grid.
+
+Shape claims: sleeping eliminates a large share of would-be idle
+listening (mean active radio time well below the completion time), and
+interior nodes accumulate less active radio time than boundary nodes.
+"""
+
+from repro.experiments.active_radio import (
+    center_vs_edge_art,
+    fig8_report,
+    run_simulation_grid,
+)
+
+from conftest import save_report
+
+
+def test_fig8_active_radio_time(benchmark, grid_run):
+    # The expensive run is shared via the session fixture; the benchmark
+    # measures a standalone (smaller, 1-segment) run so timing data stays
+    # meaningful without paying for the big grid twice.
+    benchmark.pedantic(run_simulation_grid,
+                       kwargs={"seed": 2, "rows": 5, "cols": 5,
+                               "n_segments": 1, "segment_packets": 16},
+                       rounds=1, iterations=1)
+    run = grid_run
+    save_report("fig8_active_radio_time", fig8_report(run))
+
+    assert run.all_complete
+    completion = run.completion_time_ms
+    mean_art = sum(run.active_radio_ms().values()) / len(run.motes)
+    # Radios sleep through a sizable part of reprogramming.
+    assert mean_art < 0.75 * completion
+    assert run.idle_listening_savings() > 0.25
+    # Spatial pattern: interior nodes are served early and sleep more.
+    center, edge = center_vs_edge_art(run)
+    assert center < edge

@@ -1,0 +1,20 @@
+"""Table 1: per-operation energy model and a measured two-node breakdown."""
+
+from repro.experiments.energy_table import (
+    breakdown_report,
+    measured_breakdown,
+    table1_report,
+)
+
+from conftest import save_report
+
+
+def test_table1_energy_model(benchmark):
+    breakdown = benchmark.pedantic(measured_breakdown, rounds=1, iterations=1)
+    report = table1_report() + "\n\n" + breakdown_report(breakdown)
+    save_report("table1_energy_model", report)
+    # Shape check: with the radio on for a whole dissemination, idle
+    # listening dominates each node's budget (the paper's §4 premise).
+    for parts in breakdown.values():
+        total = sum(parts.values())
+        assert parts["idle"] / total > 0.5

@@ -1,0 +1,79 @@
+"""MNP: Multihop Network Reprogramming Service for Sensor Networks.
+
+A full Python reproduction of Kulkarni & Wang (ICDCS 2005): the MNP code
+dissemination protocol, the simulated Mica-2/XSM substrate it runs on
+(radio channel, CSMA MAC, EEPROM, energy model), baseline protocols
+(Deluge, MOAP, XNP, naive flooding), and the harness that regenerates every
+table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CodeImage, Deployment, Topology
+
+    topo = Topology.grid(5, 5, spacing_ft=10)
+    image = CodeImage.random(program_id=1, n_segments=2)
+    result = Deployment(topo, image=image, protocol="mnp").run_to_completion()
+    print(result.completion_time_min, result.average_active_radio_s())
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.config import MNPConfig
+from repro.core.crc import crc16_ccitt
+from repro.core.delta import Delta, apply_delta, delta_image, encode_delta
+from repro.core.mnp import MNPNode
+from repro.core.segments import CodeImage, Segment
+from repro.core.states import MNPState
+from repro.experiments.common import Deployment, RunResult, register_protocol
+from repro.hardware.bootloader import Bootloader, InstallResult
+from repro.hardware.energy import EnergyModel, MICA_ENERGY_TABLE
+from repro.hardware.mote import Mote, MoteConfig
+from repro.net.loss_models import (
+    EmpiricalLossModel,
+    PerfectLossModel,
+    UniformLossModel,
+)
+from repro.net.connectivity import is_connected, min_connecting_power
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.radio.tdma import TdmaMac, build_tdma_schedule
+from repro.sim.kernel import MINUTE, SECOND, Simulator
+
+# Importing the baselines registers them with the Deployment factory.
+import repro.baselines  # noqa: F401  (side-effect import)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitVector",
+    "MNPConfig",
+    "crc16_ccitt",
+    "Delta",
+    "apply_delta",
+    "delta_image",
+    "encode_delta",
+    "Bootloader",
+    "InstallResult",
+    "is_connected",
+    "min_connecting_power",
+    "TdmaMac",
+    "build_tdma_schedule",
+    "MNPNode",
+    "MNPState",
+    "CodeImage",
+    "Segment",
+    "Deployment",
+    "RunResult",
+    "register_protocol",
+    "EnergyModel",
+    "MICA_ENERGY_TABLE",
+    "Mote",
+    "MoteConfig",
+    "Topology",
+    "EmpiricalLossModel",
+    "PerfectLossModel",
+    "UniformLossModel",
+    "PropagationModel",
+    "Simulator",
+    "SECOND",
+    "MINUTE",
+]

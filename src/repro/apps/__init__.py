@@ -1,0 +1,27 @@
+"""Application layer: what the network is doing while it gets reprogrammed.
+
+The paper's requirements section insists that code dissemination "is
+supposed to be an underlying service running together with other
+applications" (§2, low-memory requirement) -- reprogramming happens on a
+network that is busy sensing.  This package provides that context:
+
+* :mod:`repro.apps.mux` -- a message-type multiplexer so a dissemination
+  protocol and an application share one mote's MAC;
+* :mod:`repro.apps.sensing` -- a periodic sensing application with
+  beacon-built convergecast routing to a sink, the canonical WSN workload
+  (habitat monitoring, target detection).
+
+The coexistence experiment (``repro.experiments.extensions``) uses these
+to measure what reprogramming does to live application traffic.
+"""
+
+from repro.apps.mux import ProtocolMux
+from repro.apps.sensing import Beacon, Reading, SensingApp, SensingConfig
+
+__all__ = [
+    "ProtocolMux",
+    "SensingApp",
+    "SensingConfig",
+    "Beacon",
+    "Reading",
+]

@@ -1,0 +1,197 @@
+"""A periodic sensing application with convergecast routing.
+
+The canonical workload the paper's motivation cites (habitat monitoring,
+target detection): every node samples periodically and reports the
+reading to a sink over a beacon-built routing tree.
+
+* The sink floods :class:`Beacon` messages carrying a hop count; each
+  node adopts the neighbor offering the smallest hop distance as its
+  routing parent and re-broadcasts the beacon with ``hops+1``.
+* Readings travel hop-by-hop to the sink as logically-unicast
+  :class:`Reading` messages (MAC-level ``dst``, so only the addressed
+  relay processes them -- no dissemination-style redundancy).
+
+There are no link-layer retransmissions, matching the era's typical
+best-effort collection stacks: a reading lost to a collision, a sleeping
+relay, or a bit error is simply gone.  That makes the application's
+*delivery ratio* a sensitive probe of what a reprogramming protocol does
+to the network around it (the coexistence experiment).
+"""
+
+
+class Beacon:
+    """Routing beacon: 'I can reach the sink in ``hops`` hops.'"""
+
+    __slots__ = ("source_id", "sink_id", "hops", "round_no")
+
+    def __init__(self, source_id, sink_id, hops, round_no):
+        self.source_id = source_id
+        self.sink_id = sink_id
+        self.hops = hops
+        self.round_no = round_no
+
+    def wire_bytes(self):
+        return 2 + 2 + 1 + 1
+
+
+class Reading:
+    """One sensor sample en route to the sink."""
+
+    __slots__ = ("origin_id", "seq", "value", "relay_id", "hops_travelled")
+
+    def __init__(self, origin_id, seq, value, relay_id, hops_travelled=0):
+        self.origin_id = origin_id
+        self.seq = seq
+        self.value = value
+        self.relay_id = relay_id
+        self.hops_travelled = hops_travelled
+
+    def wire_bytes(self):
+        return 2 + 2 + 2 + 2 + 1
+
+
+class SensingConfig:
+    """Application parameters (milliseconds)."""
+
+    def __init__(self, sample_interval_ms=5_000.0, beacon_interval_ms=10_000.0,
+                 forward_jitter_ms=30.0):
+        if sample_interval_ms <= 0 or beacon_interval_ms <= 0:
+            raise ValueError("intervals must be positive")
+        self.sample_interval_ms = sample_interval_ms
+        self.beacon_interval_ms = beacon_interval_ms
+        self.forward_jitter_ms = forward_jitter_ms
+
+
+class SensingApp:
+    """The sensing/collection application on one mote."""
+
+    #: Payload classes for ProtocolMux registration.
+    MESSAGE_TYPES = (Beacon, Reading)
+
+    def __init__(self, mote, config=None, is_sink=False):
+        self.mote = mote
+        self.sim = mote.sim
+        self.node_id = mote.node_id
+        self.config = config or SensingConfig()
+        self.is_sink = is_sink
+        # Routing state
+        self.parent = None
+        self.hops_to_sink = 0 if is_sink else None
+        self._beacon_round = -1
+        # Traffic state
+        self._seq = 0
+        self.readings_generated = 0
+        self.readings_delivered = {}  # origin -> set of seqs (sink only)
+        self.readings_forwarded = 0
+        self.readings_dropped_no_route = 0
+        self._sample_timer = mote.new_timer(self._sample, "sample")
+        self._beacon_timer = mote.new_timer(self._beacon, "beacon")
+
+    # ------------------------------------------------------------------
+    def start(self):
+        if self.is_sink:
+            self._beacon_timer.start(self.mote.rng.uniform(1.0, 100.0))
+        else:
+            self._sample_timer.start(
+                self.mote.rng.uniform(0, self.config.sample_interval_ms)
+            )
+
+    def delivery_ratio(self, apps):
+        """Sink-side: delivered readings / generated readings across the
+        given application instances."""
+        if not self.is_sink:
+            raise RuntimeError("delivery_ratio is a sink-side metric")
+        generated = sum(a.readings_generated for a in apps if not a.is_sink)
+        delivered = sum(len(seqs) for seqs in self.readings_delivered.values())
+        return delivered / generated if generated else None
+
+    # ------------------------------------------------------------------
+    # Beaconing (tree construction)
+    # ------------------------------------------------------------------
+    def _beacon(self):
+        if self.mote.radio.is_on:
+            self._beacon_round += 1
+            beacon = Beacon(self.node_id, self.node_id, 0, self._beacon_round)
+            self.mote.mac.send(beacon, beacon.wire_bytes())
+        self._beacon_timer.start(
+            self.config.beacon_interval_ms * self.mote.rng.uniform(0.9, 1.1)
+        )
+
+    def _handle_beacon(self, beacon):
+        if self.is_sink:
+            return
+        better = (
+            self.hops_to_sink is None
+            or beacon.hops + 1 < self.hops_to_sink
+            or beacon.round_no > self._beacon_round
+        )
+        if better:
+            self.parent = beacon.source_id
+            self.hops_to_sink = beacon.hops + 1
+            self._beacon_round = beacon.round_no
+            # Extend the tree (suppression: only on improvement/refresh).
+            if self.mote.radio.is_on:
+                relay = Beacon(self.node_id, beacon.sink_id,
+                               self.hops_to_sink, beacon.round_no)
+                self.sim.schedule(
+                    self.mote.rng.uniform(1.0, self.config.forward_jitter_ms),
+                    self._relay_beacon, relay,
+                )
+
+    def _relay_beacon(self, beacon):
+        if self.mote.radio.is_on:
+            self.mote.mac.send(beacon, beacon.wire_bytes())
+
+    # ------------------------------------------------------------------
+    # Sampling and forwarding
+    # ------------------------------------------------------------------
+    def _sample(self):
+        self._sample_timer.start(
+            self.config.sample_interval_ms * self.mote.rng.uniform(0.9, 1.1)
+        )
+        self._seq += 1
+        self.readings_generated += 1
+        if self.parent is None or not self.mote.radio.is_on:
+            self.readings_dropped_no_route += 1
+            return
+        reading = Reading(self.node_id, self._seq,
+                          value=self.mote.rng.randrange(1024),
+                          relay_id=self.parent, hops_travelled=0)
+        self.mote.mac.send(reading, reading.wire_bytes(), dst=self.parent)
+
+    def _handle_reading(self, reading):
+        if self.is_sink:
+            self.readings_delivered.setdefault(reading.origin_id,
+                                               set()).add(reading.seq)
+            return
+        if self.parent is None or not self.mote.radio.is_on:
+            self.readings_dropped_no_route += 1
+            return
+        relay = Reading(reading.origin_id, reading.seq, reading.value,
+                        self.parent, reading.hops_travelled + 1)
+        self.readings_forwarded += 1
+        self.sim.schedule(
+            self.mote.rng.uniform(1.0, self.config.forward_jitter_ms),
+            self._forward, relay,
+        )
+
+    def _forward(self, relay):
+        if self.mote.radio.is_on:
+            self.mote.mac.send(relay, relay.wire_bytes(), dst=relay.relay_id)
+
+    # ------------------------------------------------------------------
+    # Mux hooks
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame):
+        msg = frame.payload
+        if isinstance(msg, Beacon):
+            self._handle_beacon(msg)
+        elif isinstance(msg, Reading):
+            self._handle_reading(msg)
+
+    def _on_send_done(self, payload):
+        """No pacing needed: the app's traffic is sparse."""
+
+    def __repr__(self):
+        role = "sink" if self.is_sink else f"parent={self.parent}"
+        return f"<SensingApp {self.node_id} {role}>"

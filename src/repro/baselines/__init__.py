@@ -1,0 +1,37 @@
+"""Baseline dissemination protocols the paper positions MNP against.
+
+* :mod:`repro.baselines.deluge` -- Deluge (Hui & Culler, SenSys'04): page
+  pipelining with Trickle-suppressed advertisements and an always-on radio.
+  The paper's Section 5 comparison and the "slow diagonal" dynamic behavior
+  discussion both target Deluge.
+* :mod:`repro.baselines.moap` -- MOAP (Stathopoulos et al.): hop-by-hop
+  whole-image transfer with publish/subscribe sender suppression and
+  NAK-based repair.
+* :mod:`repro.baselines.xnp` -- TinyOS XNP: the single-hop reprogrammer MNP
+  replaces; it cannot cover a multihop network.
+* :mod:`repro.baselines.flood` -- naive packet flooding, the broadcast-storm
+  reference point.
+* :mod:`repro.baselines.trickle` -- the Trickle suppression timer used by
+  Deluge (also usable standalone).
+
+Importing this package registers each protocol with
+:data:`repro.experiments.common.PROTOCOLS`.
+"""
+
+from repro.baselines.trickle import TrickleTimer
+from repro.baselines.deluge import DelugeConfig, DelugeNode
+from repro.baselines.moap import MoapConfig, MoapNode
+from repro.baselines.xnp import XnpConfig, XnpNode
+from repro.baselines.flood import FloodConfig, FloodNode
+
+__all__ = [
+    "TrickleTimer",
+    "DelugeConfig",
+    "DelugeNode",
+    "MoapConfig",
+    "MoapNode",
+    "XnpConfig",
+    "XnpNode",
+    "FloodConfig",
+    "FloodNode",
+]

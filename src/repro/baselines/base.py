@@ -1,0 +1,119 @@
+"""Shared machinery for the baseline protocol implementations.
+
+All baselines disseminate the same :class:`repro.core.segments.CodeImage`
+(pages == segments), store packets in the mote's EEPROM, and report
+progress through ``proto.*`` trace records that the metrics collector
+understands.  Unlike MNP they keep the radio on for the whole run, which is
+precisely the behaviour the paper's energy comparison exploits.
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.mnp import ProgramInfo
+from repro.hardware.energy import EnergyModel
+
+
+class BaselineNode:
+    """Common receiver-side store and progress reporting."""
+
+    def __init__(self, mote, image=None):
+        self.mote = mote
+        self.sim = mote.sim
+        self.node_id = mote.node_id
+        self.program = None
+        self.rvd_seg = 0  # pages/segments complete, in order
+        self._seg_missing = {}
+        self.got_code_time = None
+        self.parent = None
+        self._energy_model = EnergyModel()
+        mote.mac.on_receive = self._on_frame
+        mote.mac.on_send_done = self._on_send_done
+        if image is not None:
+            self.program = ProgramInfo.of_image(image)
+            self.rvd_seg = image.n_segments
+            for segment in image.segments:
+                for pkt_id, payload in enumerate(segment.packets):
+                    mote.eeprom.preload(
+                        self.flash_key(segment.seg_id, pkt_id), payload
+                    )
+            self.got_code_time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def has_full_image(self):
+        return (
+            self.program is not None
+            and self.rvd_seg == self.program.n_segments
+        )
+
+    def energy_nah(self):
+        return self._energy_model.node_energy_nah(
+            self.mote.radio, self.mote.eeprom
+        )
+
+    def flash_key(self, seg_id, packet_id):
+        """Version-qualified EEPROM key for one packet."""
+        return (self.program.program_id, seg_id, packet_id)
+
+    def assemble_image(self):
+        """Reassemble the image from EEPROM (None while incomplete)."""
+        if not self.has_full_image:
+            return None
+        chunks = []
+        for seg_id in range(1, self.program.n_segments + 1):
+            for pkt_id in range(self.program.n_packets(seg_id)):
+                chunks.append(
+                    self.mote.eeprom.read(self.flash_key(seg_id, pkt_id))
+                )
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    def missing_for(self, seg_id):
+        missing = self._seg_missing.get(seg_id)
+        if missing is None:
+            missing = BitVector.all_set(self.program.n_packets(seg_id))
+            self._seg_missing[seg_id] = missing
+        return missing
+
+    def store_packet(self, seg_id, packet_id, payload):
+        """Store a packet if new; returns True when it was new."""
+        missing = self.missing_for(seg_id)
+        if not missing.test(packet_id):
+            return False
+        self.mote.eeprom.write(self.flash_key(seg_id, packet_id), payload)
+        missing.clear(packet_id)
+        return True
+
+    def segment_complete(self, seg_id):
+        return seg_id in self._seg_missing and self._seg_missing[seg_id].is_empty()
+
+    def advance_progress(self):
+        """Advance ``rvd_seg`` over every consecutively completed segment,
+        emitting progress traces; returns True if full image reached."""
+        advanced = False
+        while (
+            self.rvd_seg < self.program.n_segments
+            and self.segment_complete(self.rvd_seg + 1)
+        ):
+            self.rvd_seg += 1
+            advanced = True
+            self.sim.tracer.emit(
+                "mnp.got_segment", node=self.node_id, seg=self.rvd_seg,
+                parent=self.parent,
+            )
+        if advanced and self.has_full_image and self.got_code_time is None:
+            self.got_code_time = self.sim.now
+            self.sim.tracer.emit("proto.got_code", node=self.node_id)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def start(self):
+        raise NotImplementedError
+
+    def _on_frame(self, frame):
+        raise NotImplementedError
+
+    def _on_send_done(self, payload):
+        """Most baselines need no send-completion pacing hook."""

@@ -1,0 +1,284 @@
+"""Deluge (Hui & Culler, SenSys 2004), the paper's main comparator.
+
+Like MNP, Deluge pipelines a paged image (pages == our segments) using an
+advertise/request/data handshake; *unlike* MNP it has
+
+* no sender selection -- any node holding a requested page serves it, so
+  several senders can stream concurrently in one neighborhood, colliding
+  at common receivers (the hidden-terminal "slow diagonal" dynamic the
+  paper cites from Hui & Culler's own measurement); and
+* no sleeping -- the radio stays on for the entire reprogramming period,
+  so a node's idle-listening time equals the completion time.  This is
+  the basis of the paper's Section 5 energy comparison.
+
+Advertisements are governed by a Trickle timer: suppressed when the
+neighborhood already heard a consistent summary, reset to the fast rate
+when new data appears.
+
+The implementation follows the published protocol's structure (MAINTAIN /
+RX / TX roles, request suppression, page-completion Trickle reset) at the
+same level of abstraction as our MNP implementation so the comparison is
+apples-to-apples.
+"""
+
+from repro.baselines.base import BaselineNode
+from repro.baselines.trickle import TrickleTimer
+from repro.core.messages import DataPacket
+from repro.core.mnp import ProgramInfo
+from repro.experiments.common import register_protocol
+
+
+class Summary:
+    """Trickle-advertised object profile: version + complete-page count."""
+
+    __slots__ = ("source_id", "program_id", "n_segments", "segment_packets",
+                 "last_seg_packets", "gamma")
+
+    def __init__(self, source_id, program_id, n_segments, segment_packets,
+                 last_seg_packets, gamma):
+        self.source_id = source_id
+        self.program_id = program_id
+        self.n_segments = n_segments
+        self.segment_packets = segment_packets
+        self.last_seg_packets = last_seg_packets
+        self.gamma = gamma
+
+    def wire_bytes(self):
+        return 2 + 1 + 1 + 1 + 1 + 1
+
+
+class PageRequest:
+    """Request for the packets of one page, with the requester's missing
+    bitmap; broadcast so neighbors can suppress duplicate requests."""
+
+    __slots__ = ("requester_id", "dest_id", "page", "missing")
+
+    def __init__(self, requester_id, dest_id, page, missing):
+        self.requester_id = requester_id
+        self.dest_id = dest_id
+        self.page = page
+        self.missing = missing
+
+    def wire_bytes(self):
+        return 2 + 2 + 1 + self.missing.wire_bytes()
+
+
+class DelugeConfig:
+    """Deluge parameters (milliseconds)."""
+
+    def __init__(
+        self,
+        tau_low_ms=2_000.0,
+        tau_high_ms=60_000.0,
+        suppression_k=1,
+        request_backoff_ms=500.0,
+        request_retries=3,
+        data_gap_ms=15.0,
+    ):
+        if request_retries < 1:
+            raise ValueError("request_retries must be >= 1")
+        self.tau_low_ms = tau_low_ms
+        self.tau_high_ms = tau_high_ms
+        self.suppression_k = suppression_k
+        self.request_backoff_ms = request_backoff_ms
+        self.request_retries = request_retries
+        self.data_gap_ms = data_gap_ms
+
+
+class DelugeNode(BaselineNode):
+    """One Deluge node."""
+
+    MAINTAIN = "maintain"
+    RX = "rx"
+    TX = "tx"
+
+    def __init__(self, mote, config=None, image=None):
+        super().__init__(mote, image=image)
+        self.config = config or DelugeConfig()
+        self.role = self.MAINTAIN
+        self.trickle = TrickleTimer(
+            self.sim, mote.rng, self._send_summary,
+            tau_low_ms=self.config.tau_low_ms,
+            tau_high_ms=self.config.tau_high_ms,
+            k=self.config.suppression_k,
+        )
+        # RX side
+        self._request_timer = mote.new_timer(self._send_request, "dreq")
+        self._rx_timer = mote.new_timer(self._on_rx_timeout, "drx")
+        self._request_dest = None
+        self._requests_left = 0
+        # TX side
+        self._tx_page = 0
+        self._tx_vector = None
+        self._tx_timer = mote.new_timer(self._send_next_data, "dtx")
+
+    # ------------------------------------------------------------------
+    def start(self):
+        self.mote.wake_radio()
+        self.trickle.start()
+
+    def _per_packet_ms(self):
+        sample = DataPacket(self.node_id, 1, 0, b"\x00" * 23)
+        airtime = (sample.wire_bytes() + 18) * 8.0 / self.mote.channel.bitrate_kbps
+        return airtime + self.config.data_gap_ms
+
+    def _page_time_ms(self):
+        packets = self.program.segment_packets if self.program else 128
+        return packets * self._per_packet_ms()
+
+    # ------------------------------------------------------------------
+    # MAINTAIN: Trickle summaries
+    # ------------------------------------------------------------------
+    def _send_summary(self):
+        if self.program is None or self.role != self.MAINTAIN:
+            return
+        summary = Summary(
+            self.node_id, self.program.program_id, self.program.n_segments,
+            self.program.segment_packets, self.program.last_seg_packets,
+            self.rvd_seg,
+        )
+        self.mote.mac.send(summary, summary.wire_bytes())
+
+    def _handle_summary(self, s):
+        if self.program is None or s.program_id > self.program.program_id:
+            self.program = ProgramInfo(
+                s.program_id, s.n_segments, s.segment_packets,
+                s.last_seg_packets,
+            )
+            self.rvd_seg = 0
+            self._seg_missing.clear()
+            self.trickle.reset()
+        if s.program_id != self.program.program_id:
+            return
+        if s.gamma == self.rvd_seg:
+            self.trickle.heard_consistent()
+        elif s.gamma > self.rvd_seg:
+            # They are ahead of us: inconsistency; go ask for our next page.
+            self.trickle.reset()
+            if self.role == self.MAINTAIN and not self._request_timer.running:
+                self._request_dest = s.source_id
+                self._requests_left = self.config.request_retries
+                self._request_timer.start(
+                    self.mote.rng.uniform(0, self.config.request_backoff_ms)
+                )
+        else:
+            # They are behind: our next summary will trigger their request.
+            self.trickle.reset()
+
+    # ------------------------------------------------------------------
+    # RX: requesting and receiving a page
+    # ------------------------------------------------------------------
+    def _send_request(self):
+        if self.has_full_image or self.program is None:
+            return
+        if self.role == self.TX:
+            return
+        if self._requests_left <= 0:
+            self.role = self.MAINTAIN
+            return
+        self._requests_left -= 1
+        page = self.rvd_seg + 1
+        request = PageRequest(
+            self.node_id, self._request_dest, page,
+            self.missing_for(page).copy(),
+        )
+        self.mote.mac.send(request, request.wire_bytes())
+        self.role = self.RX
+        self.parent = self._request_dest
+        self.sim.tracer.emit(
+            "proto.parent", node=self.node_id, parent=self.parent
+        )
+        self._rx_timer.start(2 * self._page_time_ms())
+
+    def _on_rx_timeout(self):
+        if self.role != self.RX:
+            return
+        if self._requests_left > 0:
+            self._send_request()
+        else:
+            self.role = self.MAINTAIN
+
+    def _handle_request(self, req):
+        if self.program is None:
+            return
+        if req.dest_id == self.node_id and req.page <= self.rvd_seg:
+            if self.role == self.TX:
+                if req.page == self._tx_page and \
+                        req.missing.n == self._tx_vector.n:
+                    self._tx_vector.union(req.missing)
+                return
+            if self.role == self.RX:
+                # Serve anyway -- Deluge prioritizes transmit over receive.
+                self._rx_timer.stop()
+            self.role = self.TX
+            self._tx_page = req.page
+            self._tx_vector = req.missing.copy()
+            self.sim.tracer.emit(
+                "proto.sender", node=self.node_id, seg=req.page, req_ctr=1
+            )
+            self._send_next_data()
+        elif req.page == self.rvd_seg + 1 and self._request_timer.running:
+            # Someone else just asked for the page we need: suppress our
+            # own request and snoop on the answer.
+            self._request_timer.stop()
+            self.role = self.RX
+            self.parent = req.dest_id
+            self._rx_timer.start(2 * self._page_time_ms())
+
+    # ------------------------------------------------------------------
+    # TX: streaming a page
+    # ------------------------------------------------------------------
+    def _send_next_data(self):
+        if self.role != self.TX:
+            return
+        packet_id = self._tx_vector.first_set()
+        if packet_id is None:
+            self.role = self.MAINTAIN
+            return
+        self._tx_vector.clear(packet_id)
+        packet = DataPacket(
+            self.node_id, self._tx_page, packet_id,
+            self.mote.eeprom.read(self.flash_key(self._tx_page, packet_id)),
+        )
+        self.mote.mac.send(packet, packet.wire_bytes())
+
+    def _on_send_done(self, payload):
+        if isinstance(payload, DataPacket) and self.role == self.TX:
+            self._tx_timer.start(self.config.data_gap_ms)
+
+    # ------------------------------------------------------------------
+    def _handle_data(self, msg):
+        if self.program is None:
+            return
+        if msg.seg_id != self.rvd_seg + 1:
+            return
+        if self.store_packet(msg.seg_id, msg.packet_id, msg.payload):
+            if self.role == self.RX:
+                self._rx_timer.start(2 * self._page_time_ms())
+        if self.segment_complete(msg.seg_id):
+            self.advance_progress()
+            self.trickle.reset()  # new data: advertise fast
+            if self.role == self.RX:
+                self._rx_timer.stop()
+                self.role = self.MAINTAIN
+
+    def _on_frame(self, frame):
+        msg = frame.payload
+        if isinstance(msg, Summary):
+            self._handle_summary(msg)
+        elif isinstance(msg, PageRequest):
+            self._handle_request(msg)
+        elif isinstance(msg, DataPacket):
+            self._handle_data(msg)
+
+    def __repr__(self):
+        progress = f"{self.rvd_seg}/{self.program.n_segments}" \
+            if self.program else "?"
+        return f"<DelugeNode {self.node_id} {self.role} pages={progress}>"
+
+
+def _make_deluge(mote, config, image):
+    return DelugeNode(mote, config=config, image=image)
+
+
+register_protocol("deluge", _make_deluge)

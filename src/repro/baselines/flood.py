@@ -1,0 +1,156 @@
+"""Naive flooding: the broadcast-storm reference point.
+
+Every node rebroadcasts every data packet the first time it hears it,
+after a short random delay.  No handshake, no suppression, no repair --
+this is the strawman that the broadcast storm literature (Ni et al.,
+cited in §5) warns about.  It provides the collision-count upper bound the
+suppression-scheme discussion is measured against: MNP and Deluge should
+both beat it dramatically on messages sent and collisions, and flooding
+generally fails the 100 %-coverage requirement because losses are never
+repaired.
+"""
+
+from repro.baselines.base import BaselineNode
+from repro.core.messages import DataPacket
+from repro.core.mnp import ProgramInfo
+from repro.experiments.common import register_protocol
+
+
+class FloodAdv:
+    """The base announces image geometry so receivers can track progress."""
+
+    __slots__ = ("source_id", "program_id", "n_segments", "segment_packets",
+                 "last_seg_packets")
+
+    def __init__(self, source_id, program_id, n_segments, segment_packets,
+                 last_seg_packets):
+        self.source_id = source_id
+        self.program_id = program_id
+        self.n_segments = n_segments
+        self.segment_packets = segment_packets
+        self.last_seg_packets = last_seg_packets
+
+    def wire_bytes(self):
+        return 2 + 1 + 1 + 1 + 1
+
+
+class FloodConfig:
+    """Flooding parameters (milliseconds)."""
+
+    def __init__(self, rebroadcast_window_ms=200.0, data_gap_ms=15.0,
+                 adv_repeats=3, adv_gap_ms=300.0):
+        self.rebroadcast_window_ms = rebroadcast_window_ms
+        self.data_gap_ms = data_gap_ms
+        self.adv_repeats = adv_repeats
+        self.adv_gap_ms = adv_gap_ms
+
+
+class FloodNode(BaselineNode):
+    """One flooding node."""
+
+    def __init__(self, mote, config=None, image=None):
+        super().__init__(mote, image=image)
+        self.config = config or FloodConfig()
+        self.is_base = image is not None
+        self._outbox = []  # (seg, pkt) pairs awaiting rebroadcast
+        self._tx_timer = mote.new_timer(self._send_next, "ftx")
+        self._adv_left = self.config.adv_repeats
+
+    def start(self):
+        self.mote.wake_radio()
+        if self.is_base:
+            self._tx_timer.start(self.config.adv_gap_ms)
+
+    # ------------------------------------------------------------------
+    def _send_next(self):
+        if self._adv_left > 0 and self.is_base:
+            self._adv_left -= 1
+            adv = FloodAdv(
+                self.node_id, self.program.program_id,
+                self.program.n_segments, self.program.segment_packets,
+                self.program.last_seg_packets,
+            )
+            self.mote.mac.send(adv, adv.wire_bytes())
+            if self._adv_left > 0:
+                self._tx_timer.start(self.config.adv_gap_ms)
+            else:
+                self._outbox = [
+                    (seg, pkt)
+                    for seg in range(1, self.program.n_segments + 1)
+                    for pkt in range(self.program.n_packets(seg))
+                ]
+                self._tx_timer.start(self.config.data_gap_ms)
+                self.sim.tracer.emit(
+                    "proto.sender", node=self.node_id, seg=1, req_ctr=0
+                )
+            return
+        if not self._outbox:
+            return
+        seg_id, packet_id = self._outbox.pop(0)
+        packet = DataPacket(
+            self.node_id, seg_id, packet_id,
+            self.mote.eeprom.read(self.flash_key(seg_id, packet_id)),
+        )
+        self.mote.mac.send(packet, packet.wire_bytes())
+
+    def _relay_adv(self):
+        if self.program is None or not self.mote.radio.is_on:
+            return
+        adv = FloodAdv(
+            self.node_id, self.program.program_id, self.program.n_segments,
+            self.program.segment_packets, self.program.last_seg_packets,
+        )
+        self.mote.mac.send(adv, adv.wire_bytes())
+
+    def _on_send_done(self, payload):
+        if isinstance(payload, DataPacket) and self._outbox \
+                and not self._tx_timer.running:
+            self._tx_timer.start(self.config.data_gap_ms)
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame):
+        msg = frame.payload
+        if isinstance(msg, FloodAdv):
+            if self.program is None or msg.program_id > self.program.program_id:
+                self.program = ProgramInfo(
+                    msg.program_id, msg.n_segments, msg.segment_packets,
+                    msg.last_seg_packets,
+                )
+                self.rvd_seg = 0
+                self._seg_missing.clear()
+                self.parent = msg.source_id
+                self.sim.tracer.emit(
+                    "proto.parent", node=self.node_id, parent=self.parent
+                )
+                # Flood the announcement too, so nodes beyond the base's
+                # range learn the image geometry.
+                self.sim.schedule(
+                    self.mote.rng.uniform(0, self.config.rebroadcast_window_ms),
+                    self._relay_adv,
+                )
+            return
+        if not isinstance(msg, DataPacket) or self.program is None:
+            return
+        if self.is_base:
+            return
+        if msg.seg_id > self.program.n_segments:
+            return
+        if self.store_packet(msg.seg_id, msg.packet_id, msg.payload):
+            self.parent = self.parent if self.parent is not None else msg.source_id
+            # First time we hear this packet: schedule a rebroadcast.
+            self._outbox.append((msg.seg_id, msg.packet_id))
+            if not self._tx_timer.running:
+                self._tx_timer.start(
+                    self.mote.rng.uniform(0, self.config.rebroadcast_window_ms)
+                )
+            self.advance_progress()
+
+    def __repr__(self):
+        return f"<FloodNode {self.node_id} rvd={self.rvd_seg}>"
+
+
+def _make_flood(mote, config, image):
+    return FloodNode(mote, config=config, image=image)
+
+
+register_protocol("flood", _make_flood)

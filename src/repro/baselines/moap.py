@@ -1,0 +1,369 @@
+"""MOAP -- Multihop Over-the-Air Programming (Stathopoulos et al., 2003).
+
+The paper's characterization (§5): MOAP disseminates hop-by-hop -- a node
+must receive the *entire* image before it starts advertising -- uses a
+simple publish/subscribe interface to limit the number of senders (but no
+sender *selection*), and repairs losses with unicast NAKs against a
+sliding window.
+
+Modeling choices: the sliding window is represented by per-segment missing
+bitmaps (same memory envelope, same NAK semantics at our abstraction
+level); a publisher that overhears another node's data stream defers its
+own publishing for a random backoff, which is the extent of MOAP's sender
+suppression.  The radio is always on.
+"""
+
+from repro.baselines.base import BaselineNode
+from repro.core.messages import DataPacket
+from repro.core.mnp import ProgramInfo
+from repro.experiments.common import register_protocol
+
+
+class Publish:
+    """A full-image holder offers the program."""
+
+    __slots__ = ("source_id", "program_id", "n_segments", "segment_packets",
+                 "last_seg_packets")
+
+    def __init__(self, source_id, program_id, n_segments, segment_packets,
+                 last_seg_packets):
+        self.source_id = source_id
+        self.program_id = program_id
+        self.n_segments = n_segments
+        self.segment_packets = segment_packets
+        self.last_seg_packets = last_seg_packets
+
+    def wire_bytes(self):
+        return 2 + 1 + 1 + 1 + 1
+
+
+class Subscribe:
+    """A receiver subscribes to a publisher's stream."""
+
+    __slots__ = ("requester_id", "dest_id")
+
+    def __init__(self, requester_id, dest_id):
+        self.requester_id = requester_id
+        self.dest_id = dest_id
+
+    def wire_bytes(self):
+        return 2 + 2
+
+
+class EndOfImage:
+    """Publisher finished its pass over the image."""
+
+    __slots__ = ("source_id",)
+
+    def __init__(self, source_id):
+        self.source_id = source_id
+
+    def wire_bytes(self):
+        return 2
+
+
+class Nak:
+    """Unicast repair request for one segment's missing packets."""
+
+    __slots__ = ("requester_id", "dest_id", "seg_id", "missing")
+
+    def __init__(self, requester_id, dest_id, seg_id, missing):
+        self.requester_id = requester_id
+        self.dest_id = dest_id
+        self.seg_id = seg_id
+        self.missing = missing
+
+    def wire_bytes(self):
+        return 2 + 2 + 1 + self.missing.wire_bytes()
+
+
+class MoapConfig:
+    """MOAP parameters (milliseconds)."""
+
+    def __init__(
+        self,
+        publish_interval_ms=2_000.0,
+        publish_rounds=4,
+        publish_backoff_factor=2.0,
+        publish_interval_max_ms=60_000.0,
+        subscribe_backoff_ms=400.0,
+        data_gap_ms=15.0,
+        nak_rounds=3,
+        defer_ms=3_000.0,
+    ):
+        self.publish_interval_ms = publish_interval_ms
+        self.publish_rounds = publish_rounds
+        self.publish_backoff_factor = publish_backoff_factor
+        self.publish_interval_max_ms = publish_interval_max_ms
+        self.subscribe_backoff_ms = subscribe_backoff_ms
+        self.data_gap_ms = data_gap_ms
+        self.nak_rounds = nak_rounds
+        self.defer_ms = defer_ms
+
+
+class MoapNode(BaselineNode):
+    """One MOAP node."""
+
+    LISTEN = "listen"  # no full image yet
+    PUBLISH = "publish"  # advertising the full image
+    STREAM = "stream"  # sending the image
+    REPAIR = "repair"  # answering NAKs
+
+    def __init__(self, mote, config=None, image=None):
+        super().__init__(mote, image=image)
+        self.config = config or MoapConfig()
+        self.role = self.PUBLISH if image is not None else self.LISTEN
+        self._publish_timer = mote.new_timer(self._on_publish_timer, "mpub")
+        self._publish_interval = self.config.publish_interval_ms
+        self._publishes_sent = 0
+        self._subscribers = set()
+        # Streaming
+        self._stream_seg = 1
+        self._stream_pkt = 0
+        self._stream_timer = mote.new_timer(self._send_next_data, "mtx")
+        self._repair_queue = []  # (seg, pkt) pairs to retransmit
+        self._repair_timer = mote.new_timer(self._on_repair_quiet, "mrep")
+        # Receiving
+        self._subscribe_timer = mote.new_timer(self._send_subscribe, "msub")
+        self._nak_timer = mote.new_timer(self._on_nak_timer, "mnak")
+        self._nak_rounds_left = 0
+
+    # ------------------------------------------------------------------
+    def start(self):
+        self.mote.wake_radio()
+        if self.role == self.PUBLISH:
+            self._schedule_publish()
+
+    def _per_packet_ms(self):
+        sample = DataPacket(self.node_id, 1, 0, b"\x00" * 23)
+        airtime = (sample.wire_bytes() + 18) * 8.0 / self.mote.channel.bitrate_kbps
+        return airtime + self.config.data_gap_ms
+
+    def _image_time_ms(self):
+        total = sum(
+            self.program.n_packets(s)
+            for s in range(1, self.program.n_segments + 1)
+        )
+        return total * self._per_packet_ms()
+
+    # ------------------------------------------------------------------
+    # Publisher side
+    # ------------------------------------------------------------------
+    def _schedule_publish(self, defer=False):
+        base = self.config.defer_ms if defer else self._publish_interval
+        self._publish_timer.start(base * self.mote.rng.uniform(0.5, 1.5))
+
+    def _on_publish_timer(self):
+        if self.role != self.PUBLISH:
+            return
+        if self._publishes_sent >= self.config.publish_rounds:
+            if self._subscribers:
+                self._begin_stream()
+                return
+            self._publish_interval = min(
+                self._publish_interval * self.config.publish_backoff_factor,
+                self.config.publish_interval_max_ms,
+            )
+            self._publishes_sent = 0
+        publish = Publish(
+            self.node_id, self.program.program_id, self.program.n_segments,
+            self.program.segment_packets, self.program.last_seg_packets,
+        )
+        self.mote.mac.send(publish, publish.wire_bytes())
+        self._publishes_sent += 1
+        self._schedule_publish()
+
+    def _begin_stream(self):
+        self.role = self.STREAM
+        self._publish_timer.stop()
+        self._stream_seg = 1
+        self._stream_pkt = 0
+        self.sim.tracer.emit(
+            "proto.sender", node=self.node_id, seg=1,
+            req_ctr=len(self._subscribers),
+        )
+        self._send_next_data()
+
+    def _send_next_data(self):
+        if self.role == self.REPAIR:
+            self._send_next_repair()
+            return
+        if self.role != self.STREAM:
+            return
+        if self._stream_seg > self.program.n_segments:
+            end = EndOfImage(self.node_id)
+            self.mote.mac.send(end, end.wire_bytes())
+            self.role = self.REPAIR
+            self._repair_timer.start(4 * self.config.subscribe_backoff_ms
+                                     + 20 * self._per_packet_ms())
+            return
+        packet = DataPacket(
+            self.node_id, self._stream_seg, self._stream_pkt,
+            self.mote.eeprom.read(
+                self.flash_key(self._stream_seg, self._stream_pkt)
+            ),
+        )
+        self._stream_pkt += 1
+        if self._stream_pkt >= self.program.n_packets(self._stream_seg):
+            self._stream_seg += 1
+            self._stream_pkt = 0
+        self.mote.mac.send(packet, packet.wire_bytes())
+
+    def _send_next_repair(self):
+        if not self._repair_queue:
+            self._repair_timer.start(4 * self.config.subscribe_backoff_ms
+                                     + 20 * self._per_packet_ms())
+            return
+        seg_id, packet_id = self._repair_queue.pop(0)
+        packet = DataPacket(
+            self.node_id, seg_id, packet_id,
+            self.mote.eeprom.read(self.flash_key(seg_id, packet_id)),
+        )
+        self.mote.mac.send(packet, packet.wire_bytes())
+
+    def _on_repair_quiet(self):
+        if self.role != self.REPAIR:
+            return
+        # Quiet: pass complete.  Go back to (slow) publishing.
+        self.role = self.PUBLISH
+        self._subscribers.clear()
+        self._publishes_sent = 0
+        self._schedule_publish()
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def _handle_publish(self, pub):
+        if self.program is None or pub.program_id > self.program.program_id:
+            self.program = ProgramInfo(
+                pub.program_id, pub.n_segments, pub.segment_packets,
+                pub.last_seg_packets,
+            )
+            self.rvd_seg = 0
+            self._seg_missing.clear()
+        if self.role == self.LISTEN and not self.has_full_image:
+            self.parent = pub.source_id
+            if not self._subscribe_timer.running:
+                self._subscribe_timer.start(
+                    self.mote.rng.uniform(0, self.config.subscribe_backoff_ms)
+                )
+        elif self.role == self.PUBLISH and pub.source_id != self.node_id:
+            # Another publisher nearby: defer (MOAP's sender suppression).
+            self._schedule_publish(defer=True)
+
+    def _send_subscribe(self):
+        if self.role != self.LISTEN or self.parent is None:
+            return
+        sub = Subscribe(self.node_id, self.parent)
+        self.mote.mac.send(sub, sub.wire_bytes())
+        self.sim.tracer.emit(
+            "proto.parent", node=self.node_id, parent=self.parent
+        )
+
+    def _handle_subscribe(self, sub):
+        if sub.dest_id != self.node_id:
+            return
+        if self.role in (self.PUBLISH, self.STREAM):
+            self._subscribers.add(sub.requester_id)
+            if self.role == self.PUBLISH and \
+                    self._publishes_sent >= self.config.publish_rounds:
+                self._begin_stream()
+
+    def _handle_data(self, msg):
+        if self.program is None:
+            return
+        if self.role == self.PUBLISH:
+            # Overhearing someone else's stream: defer our publishing.
+            self._schedule_publish(defer=True)
+            return
+        if self.role != self.LISTEN or self.has_full_image:
+            return
+        if msg.seg_id > self.program.n_segments:
+            return
+        self.store_packet(msg.seg_id, msg.packet_id, msg.payload)
+        self.advance_progress()
+        if self.has_full_image:
+            self._become_publisher()
+
+    def _handle_end_of_image(self, msg):
+        if self.role != self.LISTEN or self.program is None:
+            return
+        if self.has_full_image:
+            return
+        if msg.source_id != self.parent:
+            return
+        self._nak_rounds_left = self.config.nak_rounds
+        self._send_nak()
+
+    def _first_incomplete_segment(self):
+        for seg_id in range(1, self.program.n_segments + 1):
+            if not self.segment_complete(seg_id):
+                return seg_id
+        return None
+
+    def _send_nak(self):
+        seg_id = self._first_incomplete_segment()
+        if seg_id is None:
+            return
+        nak = Nak(self.node_id, self.parent, seg_id,
+                  self.missing_for(seg_id).copy())
+        self.mote.mac.send(nak, nak.wire_bytes())
+        self._nak_timer.start(2 * self.config.subscribe_backoff_ms
+                              + 40 * self._per_packet_ms())
+
+    def _on_nak_timer(self):
+        if self.role != self.LISTEN or self.has_full_image:
+            return
+        self._nak_rounds_left -= 1
+        if self._nak_rounds_left > 0:
+            self._send_nak()
+        # else: give up; the next Publish round restarts the handshake.
+
+    def _handle_nak(self, nak):
+        if nak.dest_id != self.node_id or self.role != self.REPAIR:
+            return
+        idle = not self._repair_queue
+        self._repair_timer.stop()
+        for packet_id in nak.missing.iter_set():
+            if (nak.seg_id, packet_id) not in self._repair_queue:
+                self._repair_queue.append((nak.seg_id, packet_id))
+        if idle and self._repair_queue:
+            self._send_next_repair()
+
+    def _become_publisher(self):
+        self.role = self.PUBLISH
+        self._nak_timer.stop()
+        self._subscribe_timer.stop()
+        self._publishes_sent = 0
+        self._publish_interval = self.config.publish_interval_ms
+        self._subscribers.clear()
+        self._schedule_publish()
+
+    # ------------------------------------------------------------------
+    def _on_send_done(self, payload):
+        if isinstance(payload, DataPacket) and \
+                self.role in (self.STREAM, self.REPAIR):
+            self._stream_timer.start(self.config.data_gap_ms)
+
+    def _on_frame(self, frame):
+        msg = frame.payload
+        if isinstance(msg, Publish):
+            self._handle_publish(msg)
+        elif isinstance(msg, Subscribe):
+            self._handle_subscribe(msg)
+        elif isinstance(msg, DataPacket):
+            self._handle_data(msg)
+        elif isinstance(msg, EndOfImage):
+            self._handle_end_of_image(msg)
+        elif isinstance(msg, Nak):
+            self._handle_nak(msg)
+
+    def __repr__(self):
+        return f"<MoapNode {self.node_id} {self.role} rvd={self.rvd_seg}>"
+
+
+def _make_moap(mote, config, image):
+    return MoapNode(mote, config=config, image=image)
+
+
+register_protocol("moap", _make_moap)

@@ -1,0 +1,85 @@
+"""The Trickle suppression timer (Levis et al.).
+
+Deluge's advertisement layer is Trickle: each node maintains an interval
+``tau`` in ``[tau_low, tau_high]``; within each interval it picks a random
+point in the second half and transmits its summary there *unless* it has
+already heard at least ``k`` consistent summaries this interval.  Hearing
+an *inconsistent* summary (someone is behind or ahead) resets ``tau`` to
+``tau_low``; a quiet consistent interval doubles it.
+
+The timer is protocol-agnostic: the owner supplies the ``fire`` callback
+and calls :meth:`heard_consistent` / :meth:`reset` from its receive path.
+"""
+
+
+class TrickleTimer:
+    """One Trickle instance driving periodic suppressed transmissions."""
+
+    def __init__(self, sim, rng, fire, tau_low_ms=2_000.0,
+                 tau_high_ms=60_000.0, k=1):
+        if tau_low_ms <= 0 or tau_high_ms < tau_low_ms:
+            raise ValueError("invalid tau bounds")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.sim = sim
+        self.rng = rng
+        self.fire = fire
+        self.tau_low_ms = tau_low_ms
+        self.tau_high_ms = tau_high_ms
+        self.k = k
+        self.tau = tau_low_ms
+        self.heard = 0
+        self.suppressed_count = 0
+        self.fired_count = 0
+        self._interval_event = None
+        self._fire_event = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self):
+        self._running = True
+        self.tau = self.tau_low_ms
+        self._begin_interval()
+
+    def stop(self):
+        self._running = False
+        self.sim.cancel(self._interval_event)
+        self.sim.cancel(self._fire_event)
+        self._interval_event = self._fire_event = None
+
+    def reset(self):
+        """Inconsistency observed: shrink to tau_low and start over."""
+        if not self._running:
+            return
+        self.sim.cancel(self._interval_event)
+        self.sim.cancel(self._fire_event)
+        self.tau = self.tau_low_ms
+        self._begin_interval()
+
+    def heard_consistent(self):
+        """A consistent transmission was overheard this interval."""
+        self.heard += 1
+
+    # ------------------------------------------------------------------
+    def _begin_interval(self):
+        self.heard = 0
+        point = self.rng.uniform(self.tau / 2, self.tau)
+        self._fire_event = self.sim.schedule(point, self._maybe_fire)
+        self._interval_event = self.sim.schedule(self.tau, self._end_interval)
+
+    def _maybe_fire(self):
+        self._fire_event = None
+        if not self._running:
+            return
+        if self.heard >= self.k:
+            self.suppressed_count += 1
+            return
+        self.fired_count += 1
+        self.fire()
+
+    def _end_interval(self):
+        self._interval_event = None
+        if not self._running:
+            return
+        self.tau = min(self.tau * 2, self.tau_high_ms)
+        self._begin_interval()

@@ -1,0 +1,243 @@
+"""XNP -- the TinyOS single-hop network reprogrammer.
+
+XNP (in TinyOS since 1.0) is what MNP replaces: the base station broadcasts
+the code image to every node *within its own radio range*; there is no
+forwarding.  After the broadcast pass the base runs query rounds in which
+nodes NAK their missing packets and the base retransmits.
+
+In a multihop deployment XNP's coverage tops out at the base station's
+neighborhood -- exactly the limitation quoted in the paper's introduction
+-- which our coverage benchmark demonstrates.
+"""
+
+from repro.baselines.base import BaselineNode
+from repro.core.messages import DataPacket
+from repro.core.mnp import ProgramInfo
+from repro.experiments.common import register_protocol
+
+
+class XnpAdv:
+    """Base station announces the incoming image."""
+
+    __slots__ = ("source_id", "program_id", "n_segments", "segment_packets",
+                 "last_seg_packets")
+
+    def __init__(self, source_id, program_id, n_segments, segment_packets,
+                 last_seg_packets):
+        self.source_id = source_id
+        self.program_id = program_id
+        self.n_segments = n_segments
+        self.segment_packets = segment_packets
+        self.last_seg_packets = last_seg_packets
+
+    def wire_bytes(self):
+        return 2 + 1 + 1 + 1 + 1
+
+
+class XnpQuery:
+    """Base station polls for losses after the broadcast pass."""
+
+    __slots__ = ("source_id",)
+
+    def __init__(self, source_id):
+        self.source_id = source_id
+
+    def wire_bytes(self):
+        return 2
+
+
+class XnpNak:
+    """A node reports the missing packets of one segment."""
+
+    __slots__ = ("requester_id", "seg_id", "missing")
+
+    def __init__(self, requester_id, seg_id, missing):
+        self.requester_id = requester_id
+        self.seg_id = seg_id
+        self.missing = missing
+
+    def wire_bytes(self):
+        return 2 + 1 + self.missing.wire_bytes()
+
+
+class XnpConfig:
+    """XNP parameters (milliseconds)."""
+
+    def __init__(
+        self,
+        adv_repeats=3,
+        adv_gap_ms=500.0,
+        data_gap_ms=15.0,
+        query_rounds=5,
+        nak_backoff_ms=300.0,
+    ):
+        self.adv_repeats = adv_repeats
+        self.adv_gap_ms = adv_gap_ms
+        self.data_gap_ms = data_gap_ms
+        self.query_rounds = query_rounds
+        self.nak_backoff_ms = nak_backoff_ms
+
+
+class XnpNode(BaselineNode):
+    """One XNP node; only the base station ever transmits data."""
+
+    def __init__(self, mote, config=None, image=None):
+        super().__init__(mote, image=image)
+        self.config = config or XnpConfig()
+        self.is_base = image is not None
+        self._adv_left = self.config.adv_repeats
+        self._timer = mote.new_timer(self._on_timer, "xnp")
+        self._phase = "adv" if self.is_base else "listen"
+        self._stream = []  # (seg, pkt) pairs left to send this pass
+        self._query_rounds_left = self.config.query_rounds
+        self._nak_queue = []
+        self._nak_timer = mote.new_timer(self._send_nak, "xnak")
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def start(self):
+        self.mote.wake_radio()
+        if self.is_base:
+            self._timer.start(self.config.adv_gap_ms)
+
+    def _per_packet_ms(self):
+        sample = DataPacket(self.node_id, 1, 0, b"\x00" * 23)
+        airtime = (sample.wire_bytes() + 18) * 8.0 / self.mote.channel.bitrate_kbps
+        return airtime + self.config.data_gap_ms
+
+    # ------------------------------------------------------------------
+    # Base station side
+    # ------------------------------------------------------------------
+    def _on_timer(self):
+        if self._phase == "adv":
+            if self._adv_left > 0:
+                self._adv_left -= 1
+                adv = XnpAdv(
+                    self.node_id, self.program.program_id,
+                    self.program.n_segments, self.program.segment_packets,
+                    self.program.last_seg_packets,
+                )
+                self.mote.mac.send(adv, adv.wire_bytes())
+                self._timer.start(self.config.adv_gap_ms)
+            else:
+                self._phase = "stream"
+                self._stream = [
+                    (seg, pkt)
+                    for seg in range(1, self.program.n_segments + 1)
+                    for pkt in range(self.program.n_packets(seg))
+                ]
+                self.sim.tracer.emit(
+                    "proto.sender", node=self.node_id, seg=1, req_ctr=0
+                )
+                self._send_next()
+        elif self._phase == "quiet":
+            # End of NAK collection window: retransmit or query again.
+            if self._stream:
+                self._phase = "stream"
+                self._send_next()
+            elif self._query_rounds_left > 0:
+                self._send_query()
+            else:
+                self._phase = "done"
+                self.finished = True
+
+    def _send_next(self):
+        if self._phase != "stream":
+            return
+        if not self._stream:
+            self._send_query()
+            return
+        seg_id, packet_id = self._stream.pop(0)
+        packet = DataPacket(
+            self.node_id, seg_id, packet_id,
+            self.mote.eeprom.read(self.flash_key(seg_id, packet_id)),
+        )
+        self.mote.mac.send(packet, packet.wire_bytes())
+
+    def _send_query(self):
+        self._query_rounds_left -= 1
+        query = XnpQuery(self.node_id)
+        self.mote.mac.send(query, query.wire_bytes())
+        self._phase = "quiet"
+        self._timer.start(3 * self.config.nak_backoff_ms)
+
+    # ------------------------------------------------------------------
+    # Node side
+    # ------------------------------------------------------------------
+    def _handle_adv(self, adv):
+        if self.is_base:
+            return
+        if self.program is None or adv.program_id > self.program.program_id:
+            self.program = ProgramInfo(
+                adv.program_id, adv.n_segments, adv.segment_packets,
+                adv.last_seg_packets,
+            )
+            self.rvd_seg = 0
+            self._seg_missing.clear()
+            self.parent = adv.source_id
+            self.sim.tracer.emit(
+                "proto.parent", node=self.node_id, parent=self.parent
+            )
+
+    def _handle_data(self, msg):
+        if self.is_base or self.program is None or self.has_full_image:
+            return
+        self.store_packet(msg.seg_id, msg.packet_id, msg.payload)
+        self.advance_progress()
+
+    def _handle_query(self, _query):
+        if self.is_base or self.program is None or self.has_full_image:
+            return
+        self._nak_queue = [
+            seg for seg in range(1, self.program.n_segments + 1)
+            if not self.segment_complete(seg)
+        ]
+        if self._nak_queue:
+            self._nak_timer.start(
+                self.mote.rng.uniform(0, self.config.nak_backoff_ms)
+            )
+
+    def _send_nak(self):
+        if not self._nak_queue or self.has_full_image:
+            return
+        seg_id = self._nak_queue.pop(0)
+        nak = XnpNak(self.node_id, seg_id, self.missing_for(seg_id).copy())
+        self.mote.mac.send(nak, nak.wire_bytes())
+        if self._nak_queue:
+            self._nak_timer.start(self.config.nak_backoff_ms)
+
+    def _handle_nak(self, nak):
+        if not self.is_base or self._phase not in ("quiet", "stream"):
+            return
+        for packet_id in nak.missing.iter_set():
+            pair = (nak.seg_id, packet_id)
+            if pair not in self._stream:
+                self._stream.append(pair)
+
+    # ------------------------------------------------------------------
+    def _on_send_done(self, payload):
+        if self.is_base and isinstance(payload, DataPacket) and \
+                self._phase == "stream":
+            self._timer.stop()
+            self.sim.schedule(self.config.data_gap_ms, self._send_next)
+
+    def _on_frame(self, frame):
+        msg = frame.payload
+        if isinstance(msg, XnpAdv):
+            self._handle_adv(msg)
+        elif isinstance(msg, DataPacket):
+            self._handle_data(msg)
+        elif isinstance(msg, XnpQuery):
+            self._handle_query(msg)
+        elif isinstance(msg, XnpNak):
+            self._handle_nak(msg)
+
+    def __repr__(self):
+        return f"<XnpNode {self.node_id} {self._phase} rvd={self.rvd_seg}>"
+
+
+def _make_xnp(mote, config, image):
+    return XnpNode(mote, config=config, image=image)
+
+
+register_protocol("xnp", _make_xnp)

@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``run``     -- disseminate an image over a grid and print the summary
+                 metrics (any protocol);
+* ``figure``  -- regenerate one of the paper's tables/figures by name and
+                 print its textual rendering;
+* ``compare`` -- run several protocols on identical channels and print
+                 the Section 5-style comparison table.
+
+Examples::
+
+    python -m repro run --grid 10x10 --segments 4 --protocol mnp
+    python -m repro figure fig8
+    python -m repro compare mnp deluge xnp --grid 8x8
+"""
+
+import argparse
+import sys
+
+from repro.sim.kernel import MINUTE
+
+
+def _parse_grid(text):
+    try:
+        rows, cols = text.lower().split("x")
+        rows, cols = int(rows), int(cols)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"grid must look like '10x10', got {text!r}"
+        ) from None
+    if rows < 1 or cols < 1:
+        raise argparse.ArgumentTypeError("grid dimensions must be positive")
+    return rows, cols
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MNP (ICDCS 2005) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one dissemination")
+    run_p.add_argument("--grid", type=_parse_grid, default=(10, 10),
+                       metavar="RxC", help="grid shape (default 10x10)")
+    run_p.add_argument("--spacing", type=float, default=10.0,
+                       help="inter-node spacing in feet (default 10)")
+    run_p.add_argument("--segments", type=int, default=2,
+                       help="program size in segments (default 2)")
+    run_p.add_argument("--segment-packets", type=int, default=64,
+                       help="packets per segment (default 64)")
+    run_p.add_argument("--protocol", default="mnp",
+                       help="mnp, deluge, moap, xnp, or flood")
+    run_p.add_argument("--power", type=int, default=255,
+                       help="TinyOS power level 1..255 (default 255)")
+    run_p.add_argument("--range", type=float, default=25.0, dest="range_ft",
+                       help="full-power radio range in feet (default 25)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--deadline-min", type=float, default=240.0,
+                       help="simulated deadline in minutes (default 240)")
+    run_p.add_argument("--query-update", action="store_true",
+                       help="enable MNP's query/update repair phase")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of text")
+
+    fig_p = sub.add_parser("figure",
+                           help="regenerate a table/figure of the paper")
+    fig_p.add_argument("name", help="e.g. table1, fig5..fig13, sec5, "
+                                    "ablations (or 'list')")
+    fig_p.add_argument("--seed", type=int, default=1)
+
+    cmp_p = sub.add_parser("compare",
+                           help="run protocols on identical channels")
+    cmp_p.add_argument("protocols", nargs="+",
+                       help="two or more of: mnp deluge moap xnp flood")
+    cmp_p.add_argument("--grid", type=_parse_grid, default=(8, 8),
+                       metavar="RxC")
+    cmp_p.add_argument("--segments", type=int, default=2)
+    cmp_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_run(args, out):
+    from repro.core.config import MNPConfig
+    from repro.core.segments import CodeImage
+    from repro.experiments.common import Deployment
+    from repro.hardware.mote import MoteConfig
+    from repro.net.loss_models import EmpiricalLossModel
+    from repro.net.topology import Topology
+    from repro.radio.propagation import PropagationModel
+
+    rows, cols = args.grid
+    topo = Topology.grid(rows, cols, args.spacing)
+    image = CodeImage.random(1, n_segments=args.segments,
+                             segment_packets=args.segment_packets,
+                             seed=args.seed)
+    config = MNPConfig(query_update=args.query_update) \
+        if args.protocol == "mnp" else None
+    dep = Deployment(
+        topo, image=image, protocol=args.protocol, protocol_config=config,
+        seed=args.seed,
+        propagation=PropagationModel(args.range_ft, 3.0),
+        loss_model=EmpiricalLossModel(seed=args.seed),
+        mote_config=MoteConfig(power_level=args.power),
+    )
+    result = dep.run_to_completion(deadline_ms=args.deadline_min * MINUTE)
+    if args.json:
+        import json
+
+        summary = result.to_dict()
+        summary["protocol"] = args.protocol
+        summary["seed"] = args.seed
+        summary["image_bytes"] = image.size_bytes
+        out.write(json.dumps(summary, indent=2) + "\n")
+        return 0 if result.coverage == 1.0 else 1
+    out.write(
+        f"{args.protocol} on {rows}x{cols} grid, "
+        f"{image.size_bytes} B image (seed {args.seed})\n"
+    )
+    out.write(f"  coverage:          {result.coverage:.0%}\n")
+    if result.completion_time_ms is not None:
+        out.write(f"  completion:        "
+                  f"{result.completion_time_ms / MINUTE:.1f} min\n")
+    else:
+        out.write("  completion:        did not complete before deadline\n")
+    out.write(f"  avg active radio:  "
+              f"{result.average_active_radio_s():.0f} s\n")
+    out.write(f"  messages sent:     "
+              f"{sum(result.messages_sent().values())}\n")
+    out.write(f"  collisions:        {result.collector.collisions}\n")
+    energy = result.energy_nah()
+    out.write(f"  mean energy:       "
+              f"{sum(energy.values()) / len(energy) / 1000:.1f} uAh\n")
+    out.write(f"  images intact:     {result.images_intact(image)}\n")
+    return 0 if result.coverage == 1.0 else 1
+
+
+_FIGURES = {}
+
+
+def _figure(name):
+    def register(fn):
+        _FIGURES[name] = fn
+        return fn
+    return register
+
+
+@_figure("table1")
+def _fig_table1(seed, out):
+    from repro.experiments.energy_table import (
+        breakdown_report, measured_breakdown, table1_report,
+    )
+
+    out.write(table1_report() + "\n\n")
+    out.write(breakdown_report(measured_breakdown(seed=seed)) + "\n")
+
+
+@_figure("fig5")
+def _fig5(seed, out):
+    from repro.experiments.mote_grids import fig5_indoor
+
+    for level, res in sorted(fig5_indoor(seed=seed).items()):
+        out.write(res.render() + "\n\n")
+
+
+@_figure("fig6")
+def _fig6(seed, out):
+    from repro.experiments.mote_grids import fig6_outdoor
+
+    for level, res in sorted(fig6_outdoor(seed=seed).items(), reverse=True):
+        out.write(res.render() + "\n\n")
+
+
+@_figure("fig7")
+def _fig7(seed, out):
+    from repro.experiments.mote_grids import fig7_outdoor_line
+
+    for level, res in sorted(fig7_outdoor_line(seed=seed).items(),
+                             reverse=True):
+        out.write(res.render() + "\n\n")
+
+
+@_figure("fig8")
+def _fig8(seed, out):
+    from repro.experiments.active_radio import fig8_report, \
+        run_simulation_grid
+
+    out.write(fig8_report(run_simulation_grid(seed=seed)) + "\n")
+
+
+@_figure("fig9")
+def _fig9(seed, out):
+    from repro.experiments.active_radio import fig9_report, \
+        run_simulation_grid
+
+    out.write(fig9_report(run_simulation_grid(seed=seed)) + "\n")
+
+
+@_figure("fig10")
+def _fig10(seed, out):
+    from repro.experiments.size_sweep import fig10_report, run_sweep
+
+    out.write(fig10_report(run_sweep(seed=seed)) + "\n")
+
+
+@_figure("fig11")
+def _fig11(seed, out):
+    from repro.experiments.active_radio import fig11_report, \
+        run_simulation_grid
+
+    out.write(fig11_report(run_simulation_grid(seed=seed)) + "\n")
+
+
+@_figure("fig12")
+def _fig12(seed, out):
+    from repro.experiments.active_radio import fig12_report, \
+        run_simulation_grid
+
+    out.write(fig12_report(run_simulation_grid(seed=seed)) + "\n")
+
+
+@_figure("fig13")
+def _fig13(seed, out):
+    from repro.experiments.propagation import fig13_report, run_propagation
+
+    out.write(fig13_report(run_propagation(seed=seed)) + "\n")
+
+
+@_figure("sec5")
+def _sec5(seed, out):
+    from repro.experiments.comparison import comparison_report, \
+        run_comparison
+
+    outcomes = run_comparison(("mnp", "deluge", "moap", "xnp", "flood"),
+                              seed=seed)
+    out.write(comparison_report(outcomes) + "\n")
+
+
+@_figure("ablations")
+def _ablations(seed, out):
+    from repro.experiments.ablations import ablation_report, run_all
+
+    out.write(ablation_report(run_all(seed=seed)) + "\n")
+
+
+def _cmd_figure(args, out):
+    if args.name == "list":
+        out.write("available figures: " + " ".join(sorted(_FIGURES)) + "\n")
+        return 0
+    fn = _FIGURES.get(args.name)
+    if fn is None:
+        out.write(f"unknown figure {args.name!r}; try 'figure list'\n")
+        return 2
+    fn(args.seed, out)
+    return 0
+
+
+def _cmd_compare(args, out):
+    from repro.experiments.comparison import comparison_report, \
+        run_comparison
+
+    rows, cols = args.grid
+    outcomes = run_comparison(tuple(args.protocols), seed=args.seed,
+                              rows=rows, cols=cols,
+                              n_segments=args.segments)
+    out.write(comparison_report(outcomes) + "\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args, out)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

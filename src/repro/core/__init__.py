@@ -1,0 +1,71 @@
+"""MNP: the paper's primary contribution.
+
+The protocol is decomposed the way the paper presents it:
+
+* :mod:`repro.core.segments` -- program images, segments, packets (§3.1.2);
+* :mod:`repro.core.bitvector` -- MissingVector / ForwardVector (§3.3);
+* :mod:`repro.core.messages` -- the six message types on the air;
+* :mod:`repro.core.sender_selection` -- the ReqCtr competition rules (§3.1);
+* :mod:`repro.core.states` -- the state machine of Fig. 4 (§3.4);
+* :mod:`repro.core.mnp` -- the protocol engine tying it all together;
+* :mod:`repro.core.config` -- every tunable, including the ablation switches.
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.crc import crc16_ccitt, crc16_incremental
+from repro.core.delta import (
+    Delta,
+    apply_delta,
+    delta_image,
+    encode_delta,
+    reconstruct_image,
+)
+from repro.core.loss_log import EepromMissingLog
+from repro.core.config import MNPConfig
+from repro.core.messages import (
+    Advertisement,
+    DataPacket,
+    DownloadRequest,
+    EndDownload,
+    LossSummary,
+    Query,
+    RepairRequest,
+    StartDownload,
+)
+from repro.core.mnp import MNPNode
+from repro.core.segments import (
+    MAX_SEGMENT_PACKETS,
+    PACKET_PAYLOAD_BYTES,
+    CodeImage,
+    Segment,
+)
+from repro.core.sender_selection import loses_to
+from repro.core.states import MNPState
+
+__all__ = [
+    "BitVector",
+    "crc16_ccitt",
+    "crc16_incremental",
+    "Delta",
+    "apply_delta",
+    "delta_image",
+    "encode_delta",
+    "reconstruct_image",
+    "EepromMissingLog",
+    "LossSummary",
+    "MNPConfig",
+    "MNPNode",
+    "MNPState",
+    "Advertisement",
+    "DownloadRequest",
+    "StartDownload",
+    "DataPacket",
+    "EndDownload",
+    "Query",
+    "RepairRequest",
+    "CodeImage",
+    "Segment",
+    "MAX_SEGMENT_PACKETS",
+    "PACKET_PAYLOAD_BYTES",
+    "loses_to",
+]

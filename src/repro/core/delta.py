@@ -1,0 +1,273 @@
+"""Difference-based image updates (the §5 complementarity claim).
+
+The paper positions MNP as an *entire-image* protocol but notes that "our
+solution is complementary to difference-based approaches [Reijers &
+Langendoen]: our sender selection and loss recovery approaches can be
+used to improve difference-based approaches as well."  This module makes
+that concrete: it builds a compact *edit script* between two firmware
+versions, packages the script as a :class:`repro.core.segments.CodeImage`
+so MNP (or any baseline) can disseminate it unchanged, and reconstructs
+the new image on the receiver from the old image plus the script.
+
+The encoder is a block-match differ in the spirit of rsync / Reijers'
+"efficient code distribution": the old image is indexed by a rolling hash
+over fixed-size blocks, the new image is scanned byte-by-byte, and
+matches become COPY ops while unmatched stretches become LITERAL ops.
+
+Wire format (the serialized script that actually gets disseminated)::
+
+    COPY    := 0x01 | old_offset:u32 | length:u16
+    LITERAL := 0x02 | length:u16 | bytes
+"""
+
+import struct
+
+_COPY = 0x01
+_LITERAL = 0x02
+_MOD = (1 << 31) - 1  # Mersenne prime for the rolling hash
+_BASE = 257
+
+
+class DeltaError(ValueError):
+    """Malformed edit script or mismatched base image."""
+
+
+class CopyOp:
+    """Copy ``length`` bytes from ``old_offset`` of the old image."""
+
+    __slots__ = ("old_offset", "length")
+
+    def __init__(self, old_offset, length):
+        if old_offset < 0 or length <= 0:
+            raise DeltaError("invalid copy op")
+        self.old_offset = old_offset
+        self.length = length
+
+    def __eq__(self, other):
+        return (isinstance(other, CopyOp)
+                and (self.old_offset, self.length)
+                == (other.old_offset, other.length))
+
+    def __repr__(self):
+        return f"<Copy old[{self.old_offset}:+{self.length}]>"
+
+
+class LiteralOp:
+    """Insert raw bytes."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        if not data:
+            raise DeltaError("empty literal op")
+        self.data = bytes(data)
+
+    def __eq__(self, other):
+        return isinstance(other, LiteralOp) and self.data == other.data
+
+    def __repr__(self):
+        return f"<Literal {len(self.data)}B>"
+
+
+class Delta:
+    """An edit script transforming one image's bytes into another's."""
+
+    def __init__(self, ops):
+        self.ops = list(ops)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self):
+        out = bytearray()
+        for op in self.ops:
+            if isinstance(op, CopyOp):
+                chunk = op
+                while chunk.length > 0xFFFF:
+                    out += struct.pack(">BIH", _COPY, chunk.old_offset,
+                                       0xFFFF)
+                    chunk = CopyOp(chunk.old_offset + 0xFFFF,
+                                   chunk.length - 0xFFFF)
+                out += struct.pack(">BIH", _COPY, chunk.old_offset,
+                                   chunk.length)
+            elif isinstance(op, LiteralOp):
+                data = op.data
+                for i in range(0, len(data), 0xFFFF):
+                    piece = data[i:i + 0xFFFF]
+                    out += struct.pack(">BH", _LITERAL, len(piece)) + piece
+            else:
+                raise DeltaError(f"unknown op {op!r}")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob):
+        ops = []
+        i = 0
+        while i < len(blob):
+            tag = blob[i]
+            if tag == _COPY:
+                if i + 7 > len(blob):
+                    raise DeltaError("truncated copy op")
+                _, offset, length = struct.unpack_from(">BIH", blob, i)
+                ops.append(CopyOp(offset, length))
+                i += 7
+            elif tag == _LITERAL:
+                if i + 3 > len(blob):
+                    raise DeltaError("truncated literal header")
+                (length,) = struct.unpack_from(">H", blob, i + 1)
+                data = blob[i + 3:i + 3 + length]
+                if len(data) != length:
+                    raise DeltaError("truncated literal data")
+                ops.append(LiteralOp(data))
+                i += 3 + length
+            else:
+                raise DeltaError(f"unknown op tag {tag:#x} at {i}")
+        return cls(ops)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def wire_size(self):
+        return len(self.to_bytes())
+
+    def literal_bytes(self):
+        return sum(len(op.data) for op in self.ops
+                   if isinstance(op, LiteralOp))
+
+    def copied_bytes(self):
+        return sum(op.length for op in self.ops if isinstance(op, CopyOp))
+
+    def __repr__(self):
+        return (f"<Delta {len(self.ops)} ops, {self.literal_bytes()}B "
+                f"literal + {self.copied_bytes()}B copied>")
+
+
+def _hash(data):
+    value = 0
+    for byte in data:
+        value = (value * _BASE + byte) % _MOD
+    return value
+
+
+def encode_delta(old, new, block_size=32, min_match=None):
+    """Build an edit script turning ``old`` into ``new``.
+
+    ``block_size`` is the match granularity; ``min_match`` (default:
+    ``block_size``) discards matches too short to beat the 7-byte copy-op
+    overhead.
+    """
+    if block_size < 4:
+        raise DeltaError("block_size must be at least 4")
+    min_match = min_match or block_size
+    old = bytes(old)
+    new = bytes(new)
+    if not new:
+        raise DeltaError("cannot encode an empty target image")
+
+    # Index old blocks by rolling hash (one entry per block start).
+    index = {}
+    for start in range(0, max(0, len(old) - block_size) + 1, block_size):
+        block = old[start:start + block_size]
+        if len(block) == block_size:
+            index.setdefault(_hash(block), []).append(start)
+
+    ops = []
+    literal = bytearray()
+
+    def flush_literal():
+        if literal:
+            ops.append(LiteralOp(bytes(literal)))
+            literal.clear()
+
+    i = 0
+    power = pow(_BASE, block_size - 1, _MOD)
+    window_hash = None
+    while i < len(new):
+        if i + block_size > len(new):
+            literal += new[i:]
+            break
+        if window_hash is None:
+            window_hash = _hash(new[i:i + block_size])
+        candidates = index.get(window_hash, ())
+        match_start = None
+        for start in candidates:
+            if old[start:start + block_size] == new[i:i + block_size]:
+                match_start = start
+                break
+        if match_start is not None:
+            # Extend the match greedily beyond the block.
+            length = block_size
+            while (match_start + length < len(old)
+                   and i + length < len(new)
+                   and old[match_start + length] == new[i + length]):
+                length += 1
+            if length >= min_match:
+                flush_literal()
+                ops.append(CopyOp(match_start, length))
+                i += length
+                window_hash = None
+                continue
+        # No usable match: emit one literal byte and roll the hash.
+        literal.append(new[i])
+        if i + block_size < len(new):
+            outgoing = new[i]
+            incoming = new[i + block_size]
+            window_hash = (
+                (window_hash - outgoing * power) * _BASE + incoming
+            ) % _MOD
+        else:
+            window_hash = None
+        i += 1
+    flush_literal()
+    return Delta(ops)
+
+
+def apply_delta(old, delta):
+    """Reconstruct the new image bytes from ``old`` and an edit script."""
+    old = bytes(old)
+    out = bytearray()
+    for op in delta.ops:
+        if isinstance(op, CopyOp):
+            if op.old_offset + op.length > len(old):
+                raise DeltaError(
+                    f"copy beyond base image ({op.old_offset}+{op.length} "
+                    f"> {len(old)})"
+                )
+            out += old[op.old_offset:op.old_offset + op.length]
+        elif isinstance(op, LiteralOp):
+            out += op.data
+        else:
+            raise DeltaError(f"unknown op {op!r}")
+    return bytes(out)
+
+
+def delta_image(old_image, new_image, block_size=32):
+    """Package the old->new edit script as a disseminable CodeImage.
+
+    The returned image carries the *script* bytes (usually far smaller
+    than the full new image when versions are similar) under the new
+    program id; receivers holding the old image rebuild the new one with
+    :func:`reconstruct_image`.
+    """
+    from repro.core.segments import CodeImage
+
+    if new_image.program_id <= old_image.program_id:
+        raise DeltaError("new image must have a newer program id")
+    delta = encode_delta(old_image.to_bytes(), new_image.to_bytes(),
+                         block_size=block_size)
+    return CodeImage.from_bytes(new_image.program_id, delta.to_bytes())
+
+
+def reconstruct_image(old_image_bytes, delta_blob):
+    """Receiver side: old image bytes + received script -> new image
+    bytes."""
+    return apply_delta(old_image_bytes, Delta.from_bytes(delta_blob))
+
+
+def savings(old_image, new_image, block_size=32):
+    """Fraction of on-air payload saved by shipping the script instead of
+    the whole new image (can be negative for dissimilar images)."""
+    delta = encode_delta(old_image.to_bytes(), new_image.to_bytes(),
+                         block_size=block_size)
+    return 1.0 - delta.wire_size / new_image.size_bytes

@@ -1,0 +1,129 @@
+"""EEPROM-backed loss tracking for large segments (§3.3).
+
+The in-RAM MissingVector works because segments are capped at 128 packets
+(16 bytes of bitmap).  The paper adds: "For the case where larger
+segments are used, for example, in scenario where pipelining is not
+expected to be beneficial (small networks), we provide a mechanism to use
+EEPROM to keep track of lost packets" -- the implementation details are
+left to the technical report.
+
+:class:`EepromMissingLog` realizes that mechanism: the bitmap lives in
+external flash in 16-byte lines, a one-line RAM cache absorbs runs of
+sequential packet arrivals (the common case during a stream), and every
+line load/store is charged to the EEPROM operation counters -- so the
+energy cost of large segments is measured, not waved away.
+
+Because the full bitmap no longer fits in a radio packet, a requester
+summarizes its losses as ``(missing_count, first_missing)`` (see
+:meth:`summary`); a sender serving such a request streams the whole
+segment tail from ``first_missing`` instead of cherry-picking packets.
+"""
+
+from repro.hardware.eeprom import LINE_BYTES
+
+_BITS_PER_LINE = LINE_BYTES * 8
+
+
+class EepromMissingLog:
+    """A missing-packet bitmap stored in EEPROM, one 16-byte line cached.
+
+    The interface mirrors the RAM :class:`repro.core.bitvector.BitVector`
+    where MNP needs it (``test`` / ``clear`` / ``count`` / ``is_empty`` /
+    ``first_set``), so either representation can sit behind a download.
+    """
+
+    def __init__(self, eeprom, key_prefix, n_packets):
+        if n_packets < 1:
+            raise ValueError("need at least one packet")
+        self.eeprom = eeprom
+        self.key_prefix = key_prefix
+        self.n = n_packets
+        self._n_lines = -(-n_packets // _BITS_PER_LINE)
+        self._missing_count = n_packets
+        # Initialize every line to all-missing (charged writes: this is
+        # the setup cost the paper's RAM variant avoids).
+        for line in range(self._n_lines):
+            self.eeprom.write(self._line_key(line),
+                              self._initial_line_bits(line),
+                              nbytes=LINE_BYTES)
+        self._cached_line = None
+        self._cached_bits = 0
+        self._cache_dirty = False
+
+    # ------------------------------------------------------------------
+    # Line plumbing
+    # ------------------------------------------------------------------
+    def _line_key(self, line):
+        return (*self.key_prefix, "missing-line", line)
+
+    def _initial_line_bits(self, line):
+        start = line * _BITS_PER_LINE
+        bits_here = min(_BITS_PER_LINE, self.n - start)
+        return (1 << bits_here) - 1
+
+    def _load_line(self, line):
+        if self._cached_line == line:
+            return
+        self._flush()
+        self._cached_bits = self.eeprom.read(self._line_key(line))
+        self._cached_line = line
+
+    def _flush(self):
+        if self._cached_line is not None and self._cache_dirty:
+            self.eeprom.write(self._line_key(self._cached_line),
+                              self._cached_bits, nbytes=LINE_BYTES)
+        self._cache_dirty = False
+
+    def _check(self, i):
+        if not 0 <= i < self.n:
+            raise IndexError(f"packet {i} out of range 0..{self.n - 1}")
+
+    # ------------------------------------------------------------------
+    # Bitmap interface
+    # ------------------------------------------------------------------
+    def test(self, i):
+        self._check(i)
+        self._load_line(i // _BITS_PER_LINE)
+        return bool(self._cached_bits >> (i % _BITS_PER_LINE) & 1)
+
+    def clear(self, i):
+        self._check(i)
+        self._load_line(i // _BITS_PER_LINE)
+        mask = 1 << (i % _BITS_PER_LINE)
+        if self._cached_bits & mask:
+            self._cached_bits &= ~mask
+            self._cache_dirty = True
+            self._missing_count -= 1
+
+    def count(self):
+        return self._missing_count
+
+    def is_empty(self):
+        return self._missing_count == 0
+
+    def first_set(self):
+        """Lowest missing packet id, or None (scans flash lines)."""
+        if self._missing_count == 0:
+            return None
+        for line in range(self._n_lines):
+            self._load_line(line)
+            if self._cached_bits:
+                low = self._cached_bits & -self._cached_bits
+                return line * _BITS_PER_LINE + low.bit_length() - 1
+        return None
+
+    def summary(self):
+        """The radio-packet-sized loss summary ``(count, first_missing)``
+        that replaces the full bitmap in download requests."""
+        return (self._missing_count, self.first_set())
+
+    def close(self):
+        """Flush the cached line back to flash."""
+        self._flush()
+
+    def __len__(self):
+        return self.n
+
+    def __repr__(self):
+        return (f"<EepromMissingLog {self._missing_count}/{self.n} "
+                f"missing, {self._n_lines} lines>")

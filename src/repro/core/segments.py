@@ -1,0 +1,186 @@
+"""Program images, segments, and data packets.
+
+Section 3.1.2: to enable pipelining, a program is divided into *segments*,
+each containing a fixed number of packets; segment ids are strictly
+increasing and nodes must receive segments sequentially.  Section 3.3 caps
+segments at 128 packets so a MissingVector fits in 16 bytes.  The
+evaluation uses segments of 128 packets with 23 bytes of data payload per
+packet (≈2.9 KB per segment); Figure 10 sweeps 1..10 segments.
+"""
+
+from repro.core.crc import crc16_ccitt
+from repro.sim.rng import derive_rng
+
+PACKET_PAYLOAD_BYTES = 23
+MAX_SEGMENT_PACKETS = 128
+#: §3.3 large-segment mode (non-pipelined small networks): the missing
+#: bitmap moves to EEPROM, so segments may exceed the radio-packet cap.
+MAX_LARGE_SEGMENT_PACKETS = 1024
+DEFAULT_SEGMENT_PACKETS = 128
+
+
+class Segment:
+    """One segment: a contiguous run of packets of a program image.
+
+    Segment ids are 1-based, matching the paper's "expected segment id is
+    the highest received so far plus one" convention (a fresh node has
+    received segment 0, i.e. nothing).
+    """
+
+    def __init__(self, seg_id, packets, large=False):
+        if seg_id < 1:
+            raise ValueError("segment ids are 1-based")
+        if not packets:
+            raise ValueError("a segment contains at least one packet")
+        cap = MAX_LARGE_SEGMENT_PACKETS if large else MAX_SEGMENT_PACKETS
+        if len(packets) > cap:
+            raise ValueError(
+                f"segment of {len(packets)} packets exceeds the "
+                f"{cap}-packet cap" +
+                ("" if large else
+                 " (MissingVector must fit in one radio packet; pass "
+                 "large=True for EEPROM-tracked segments)")
+            )
+        self.seg_id = seg_id
+        self.packets = list(packets)
+
+    @property
+    def n_packets(self):
+        return len(self.packets)
+
+    @property
+    def size_bytes(self):
+        return sum(len(p) for p in self.packets)
+
+    def packet(self, packet_id):
+        """Payload bytes of packet ``packet_id`` (0-based within segment)."""
+        return self.packets[packet_id]
+
+
+#: Data objects tagged with group 0 are for every node in the network.
+BROADCAST_GROUP = 0
+
+
+class CodeImage:
+    """A complete program image (or any bulk data object) split into
+    segments.
+
+    ``program_id`` is the version number; a node reprograms when it sees an
+    advertisement for a program id newer than what it is running.
+    ``group_id`` supports the §6 multi-subset extension: a non-zero group
+    targets the object at the subset of nodes holding that group
+    membership; everyone else ignores (and sleeps through) the transfer.
+    """
+
+    def __init__(self, program_id, segments, group_id=BROADCAST_GROUP):
+        if not segments:
+            raise ValueError("an image contains at least one segment")
+        for expected, segment in enumerate(segments, start=1):
+            if segment.seg_id != expected:
+                raise ValueError(
+                    f"segment ids must be 1..n in order; got {segment.seg_id} "
+                    f"at position {expected}"
+                )
+        self.program_id = program_id
+        self.segments = list(segments)
+        self.group_id = group_id
+        self._crc16 = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bytes(
+        cls,
+        program_id,
+        data,
+        segment_packets=DEFAULT_SEGMENT_PACKETS,
+        packet_bytes=PACKET_PAYLOAD_BYTES,
+        group_id=BROADCAST_GROUP,
+        large=False,
+    ):
+        """Split raw image bytes into segments of ``segment_packets``
+        packets of ``packet_bytes`` payload each (last packet may be
+        short).  ``large=True`` lifts the 128-packet cap for the §3.3
+        EEPROM-tracked large-segment mode."""
+        if not data:
+            raise ValueError("empty image")
+        cap = MAX_LARGE_SEGMENT_PACKETS if large else MAX_SEGMENT_PACKETS
+        if not 1 <= segment_packets <= cap:
+            raise ValueError(
+                f"segment_packets must be 1..{cap}"
+            )
+        packets = [
+            bytes(data[i : i + packet_bytes])
+            for i in range(0, len(data), packet_bytes)
+        ]
+        segments = [
+            Segment(seg_id, packets[i : i + segment_packets], large=large)
+            for seg_id, i in enumerate(
+                range(0, len(packets), segment_packets), start=1
+            )
+        ]
+        return cls(program_id, segments, group_id=group_id)
+
+    @classmethod
+    def random(
+        cls,
+        program_id,
+        n_segments,
+        segment_packets=DEFAULT_SEGMENT_PACKETS,
+        packet_bytes=PACKET_PAYLOAD_BYTES,
+        seed=0,
+        group_id=BROADCAST_GROUP,
+    ):
+        """A synthetic image of ``n_segments`` full segments (the workload
+        used throughout the evaluation)."""
+        if n_segments < 1:
+            raise ValueError("need at least one segment")
+        rng = derive_rng(seed, "image", program_id)
+        data = bytes(
+            rng.getrandbits(8)
+            for _ in range(n_segments * segment_packets * packet_bytes)
+        )
+        return cls.from_bytes(
+            program_id, data, segment_packets=segment_packets,
+            packet_bytes=packet_bytes, group_id=group_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self):
+        return len(self.segments)
+
+    @property
+    def total_packets(self):
+        return sum(s.n_packets for s in self.segments)
+
+    @property
+    def size_bytes(self):
+        return sum(s.size_bytes for s in self.segments)
+
+    def segment(self, seg_id):
+        """Segment by 1-based id."""
+        if not 1 <= seg_id <= self.n_segments:
+            raise KeyError(f"no segment {seg_id} (image has {self.n_segments})")
+        return self.segments[seg_id - 1]
+
+    @property
+    def crc16(self):
+        """CRC-16/CCITT of the whole image (advertised so receivers can
+        verify the staged image before rebooting, §3.5)."""
+        if self._crc16 is None:
+            self._crc16 = crc16_ccitt(self.to_bytes())
+        return self._crc16
+
+    def to_bytes(self):
+        """Reassemble the raw image (used to verify 100% accuracy)."""
+        return b"".join(p for s in self.segments for p in s.packets)
+
+    def __repr__(self):
+        return (
+            f"<CodeImage v{self.program_id} {self.n_segments} segments, "
+            f"{self.total_packets} packets, {self.size_bytes} bytes>"
+        )

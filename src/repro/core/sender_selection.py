@@ -1,0 +1,42 @@
+"""Sender-selection comparison rules (§3.1.1, Fig. 2).
+
+A source S in the advertise state abandons the competition (sleeps) when it
+learns of another source with strictly more distinct requesters, or with
+equally many and a higher node id.  The information arrives two ways:
+
+* directly, in another source's **advertisement** (``AdvMsg.ReqCtr``);
+* indirectly, in a **download request destined to another source**, which
+  echoes that source's ReqCtr -- this is what defeats the hidden-terminal
+  problem, because S can hear the requester even when it cannot hear the
+  competing source.
+
+The tie-break on node id guarantees progress: the source with the highest
+(ReqCtr, id) pair never yields, so some sender always emerges (the paper's
+"this cannot cause deadlock" remark).
+
+Pipelining adds a segment-priority rule (§3.1.2 rule 4): a source
+advertising a *lower* segment that already has at least one requester
+preempts sources advertising higher segments in the same neighborhood.
+"""
+
+
+def loses_to(my_req_ctr, my_id, other_req_ctr, other_id):
+    """True if a source with ``(my_req_ctr, my_id)`` must yield to a
+    competitor with ``(other_req_ctr, other_id)``.
+
+    Implements the guard from Fig. 2: the competitor must have at least one
+    requester, and either strictly more than mine or the same number with a
+    higher node id.
+    """
+    if other_req_ctr <= 0:
+        return False
+    if other_req_ctr > my_req_ctr:
+        return True
+    return other_req_ctr == my_req_ctr and other_id > my_id
+
+
+def preempted_by_lower_segment(my_offer_seg, other_offer_seg, other_req_ctr,
+                               min_requests=1):
+    """True if a competitor advertising a lower segment with at least
+    ``min_requests`` requesters preempts this source (§3.1.2 rule 4)."""
+    return other_offer_seg < my_offer_seg and other_req_ctr >= min_requests

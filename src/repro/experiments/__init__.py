@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+:mod:`repro.experiments.common` provides the protocol-agnostic
+:class:`~repro.experiments.common.Deployment` runner; the sibling modules
+compose it into the specific workloads of the evaluation section:
+
+==========================  ============================================
+module                      paper content
+==========================  ============================================
+``energy_table``            Table 1 (energy model + measured breakdown)
+``mote_grids``              Figs. 5-7 (mote grids, power levels)
+``active_radio``            Figs. 8, 9, 11, 12 (large-grid run)
+``size_sweep``              Fig. 10 (program-size sweep)
+``propagation``             Fig. 13 (+ the anti-Deluge diagonal claim)
+``comparison``              Section 5 (MNP vs Deluge/MOAP/XNP/flood)
+``ablations``               design-choice ablations from DESIGN.md
+``extensions``              future-work features: delta updates, initial
+                            sleep schedule, TDMA, app coexistence
+``robustness``              churn and late-joiner scenarios
+``replication``             multi-seed statistics and paired comparisons
+``density``                 node-density sweep (dual of the power sweep)
+``power_sweep``             full power-level curve behind Figs. 5-7
+==========================  ============================================
+
+The benchmark files under ``benchmarks/`` are thin wrappers that run
+these and print the paper-shaped output.  Experiment sizes honour the
+``REPRO_SCALE`` environment variable (see :mod:`repro.experiments.scale`).
+"""
+
+from repro.experiments.common import Deployment, RunResult, register_protocol
+from repro.experiments.scale import current_scale
+
+__all__ = ["Deployment", "RunResult", "register_protocol", "current_scale"]

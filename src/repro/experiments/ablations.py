@@ -1,0 +1,78 @@
+"""Ablations of MNP's design pillars.
+
+DESIGN.md calls out the protocol's load-bearing choices; each ablation
+switches one off and measures the cost on the standard grid workload:
+
+* ``no-sender-selection`` -- sources never concede: concurrent senders
+  collide (the problem §3.1 exists to solve);
+* ``no-sleep`` -- losers keep listening: active radio time balloons
+  toward the completion time;
+* ``no-forward-vector`` -- senders stream whole segments instead of just
+  the requested packets: more data transmissions;
+* ``no-pipelining`` -- hop-by-hop whole-image transfer: slower end-to-end
+  on multihop networks;
+* ``query-update`` -- the optional repair phase of Fig. 4 switched on;
+* ``battery-aware`` -- the §6 extension: advertisement power scaled by
+  remaining battery.
+"""
+
+from repro.core.config import MNPConfig
+from repro.experiments.active_radio import run_simulation_grid
+from repro.metrics.reports import format_table
+from repro.sim.kernel import SECOND
+
+ABLATIONS = {
+    "baseline": {},
+    "no-sender-selection": {"sender_selection": False},
+    "no-sleep": {"sleep_on_loss": False, "idle_sleep": False},
+    "no-forward-vector": {"forward_vector": False},
+    "no-pipelining": {"pipelining": False},
+    "query-update": {"query_update": True},
+    "battery-aware": {"battery_aware_power": True},
+}
+
+
+class AblationOutcome:
+    def __init__(self, name, run):
+        self.name = name
+        self.run = run
+        self.coverage = run.coverage
+        self.completion_s = run.completion_time_ms / SECOND \
+            if run.completion_time_ms else None
+        self.art_s = run.average_active_radio_s()
+        self.collisions = run.collector.collisions
+        self.data_tx = sum(
+            1 for _, _, kind in run.collector.tx_log if kind == "DataPacket"
+        )
+
+
+def run_ablation(name, seed=0, **grid_kwargs):
+    """Run one named ablation from :data:`ABLATIONS`."""
+    try:
+        overrides = ABLATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown ablation {name!r}; "
+                         f"known: {sorted(ABLATIONS)}") from None
+    config = MNPConfig().replace(**overrides)
+    run = run_simulation_grid(seed=seed, config=config, **grid_kwargs)
+    return AblationOutcome(name, run)
+
+
+def run_all(names=None, seed=0, **grid_kwargs):
+    names = names or list(ABLATIONS)
+    return [run_ablation(name, seed=seed, **grid_kwargs) for name in names]
+
+
+def ablation_report(outcomes):
+    rows = [
+        [o.name, f"{o.coverage:.0%}",
+         f"{o.completion_s:.0f}" if o.completion_s else "-",
+         f"{o.art_s:.0f}", o.collisions, o.data_tx]
+        for o in outcomes
+    ]
+    return format_table(
+        ["ablation", "coverage", "completion(s)", "avg ART(s)",
+         "collisions", "data tx"],
+        rows,
+        title="MNP design-choice ablations",
+    )

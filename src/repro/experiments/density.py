@@ -1,0 +1,74 @@
+"""Node-density sweep.
+
+The paper varies the *communication range* (power levels) over a fixed
+grid and observes: lower power ⇒ smaller neighborhoods ⇒ more senders,
+each with fewer followers, and more hops.  Density is the dual knob --
+fixing the range and stretching the grid spacing -- and it is the axis
+along which Deluge's dynamic-behaviour problems were reported ("when the
+network is dense...").  This sweep measures both protocols across
+spacings.
+"""
+
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.metrics.reports import format_table
+from repro.net.connectivity import hop_counts
+from repro.net.loss_models import EmpiricalLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, SECOND
+
+RANGE_FT = 25.0
+
+
+class DensityPoint:
+    """One (protocol, spacing) measurement."""
+
+    def __init__(self, protocol, spacing_ft, run, topo):
+        self.protocol = protocol
+        self.spacing_ft = spacing_ft
+        self.coverage = run.coverage
+        self.completion_s = run.completion_time_ms / SECOND \
+            if run.completion_time_ms else None
+        self.collisions = run.collector.collisions
+        self.senders = len(run.sender_order())
+        hops = hop_counts(topo, RANGE_FT, run.deployment.base_id)
+        self.max_hops = max(hops.values()) if hops else 0
+        neighborhood = [
+            len(topo.nodes_within(n, RANGE_FT)) for n in topo.node_ids()
+        ]
+        self.mean_neighbors = sum(neighborhood) / len(neighborhood)
+
+
+def run_density_sweep(spacings=(6.0, 10.0, 16.0), protocol="mnp",
+                      rows=6, cols=6, n_segments=2, seed=0):
+    """Sweep grid spacing at a fixed radio range."""
+    points = []
+    for spacing in spacings:
+        topo = Topology.grid(rows, cols, spacing)
+        image = CodeImage.random(1, n_segments=n_segments,
+                                 segment_packets=32, seed=seed)
+        dep = Deployment(
+            topo, image=image, protocol=protocol, seed=seed,
+            propagation=PropagationModel(RANGE_FT, 3.0),
+            loss_model=EmpiricalLossModel(seed=seed),
+        )
+        run = dep.run_to_completion(deadline_ms=4 * 60 * MINUTE)
+        points.append(DensityPoint(protocol, spacing, run, topo))
+    return points
+
+
+def density_report(points):
+    rows = [
+        [p.protocol, f"{p.spacing_ft:.0f}", f"{p.mean_neighbors:.1f}",
+         p.max_hops, p.senders,
+         f"{p.completion_s:.0f}" if p.completion_s else "-",
+         p.collisions, f"{p.coverage:.0%}"]
+        for p in points
+    ]
+    return format_table(
+        ["protocol", "spacing(ft)", "avg neighbors", "max hops",
+         "senders", "completion(s)", "collisions", "coverage"],
+        rows,
+        title="Density sweep (fixed 25 ft range, varying grid spacing)",
+    )

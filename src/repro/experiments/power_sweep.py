@@ -1,0 +1,92 @@
+"""Transmission-power sweep over a fixed mote grid.
+
+Figures 5-7 sample two power levels each; this sweep fills in the curve:
+for a fixed grid, step the TinyOS power level from barely-connecting to
+full and measure hops, senders, completion time, and energy.  The §6
+observation that power is a tuning knob ("we can adjust the power level
+used in the advertisement message...") makes the shape of this curve the
+protocol designer's planning tool.
+"""
+
+from repro.core.config import MNPConfig
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.hardware.mote import MoteConfig
+from repro.metrics.reports import format_table, sparkline
+from repro.net.connectivity import hop_counts, is_connected, \
+    min_connecting_power
+from repro.net.loss_models import EmpiricalLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, SECOND
+
+
+class PowerPoint:
+    """One power level's measurements."""
+
+    def __init__(self, power_level, run, topo, propagation):
+        self.power_level = power_level
+        self.range_ft = propagation.range_ft(power_level)
+        self.coverage = run.coverage
+        self.completion_s = run.completion_time_ms / SECOND \
+            if run.completion_time_ms else None
+        self.senders = len(run.sender_order())
+        hops = hop_counts(topo, self.range_ft, run.deployment.base_id)
+        self.max_hops = max(hops.values()) if len(hops) == len(topo) else None
+        energy = run.energy_nah()
+        self.mean_energy_nah = sum(energy.values()) / len(energy)
+
+
+def run_power_sweep(levels=None, rows=5, cols=5, spacing_ft=4.0,
+                    environment="indoor", program_packets=128, seed=0):
+    """Sweep power levels over the paper's indoor-style grid.
+
+    ``levels`` defaults to a spread from just above the minimum
+    connecting level up to full power.
+    """
+    if environment == "indoor":
+        propagation = PropagationModel.indoor(40.0)
+    else:
+        propagation = PropagationModel.outdoor(60.0)
+    topo = Topology.grid(rows, cols, spacing_ft)
+    if levels is None:
+        floor = min_connecting_power(topo, propagation) or 1
+        levels = sorted({floor, 2 * floor, 16, 64, 255} | {floor})
+        levels = [lv for lv in levels if floor <= lv <= 255]
+    image = CodeImage.from_bytes(
+        1, bytes((i * 31) % 251 for i in range(program_packets * 23)),
+        segment_packets=128,
+    )
+    config = MNPConfig(pipelining=False, query_update=True)
+    points = []
+    for level in levels:
+        if not is_connected(topo, propagation.range_ft(level)):
+            continue
+        dep = Deployment(
+            topo, image=image, protocol="mnp", protocol_config=config,
+            seed=seed, propagation=propagation,
+            loss_model=EmpiricalLossModel(seed=seed, sigma=0.3),
+            mote_config=MoteConfig(power_level=level),
+        )
+        run = dep.run_to_completion(deadline_ms=4 * 60 * MINUTE)
+        points.append(PowerPoint(level, run, topo, propagation))
+    return points
+
+
+def power_report(points):
+    rows = [
+        [p.power_level, f"{p.range_ft:.0f}",
+         p.max_hops if p.max_hops is not None else "-",
+         p.senders,
+         f"{p.completion_s:.0f}" if p.completion_s else "-",
+         f"{p.mean_energy_nah / 1000:.0f}",
+         f"{p.coverage:.0%}"]
+        for p in points
+    ]
+    text = format_table(
+        ["power", "range(ft)", "max hops", "senders", "completion(s)",
+         "energy(uAh)", "coverage"],
+        rows, title="Power-level sweep (5x5 indoor grid)",
+    )
+    text += "\nsenders vs power: " + sparkline(p.senders for p in points)
+    return text

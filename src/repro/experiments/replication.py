@@ -1,0 +1,128 @@
+"""Multi-seed replication: means, deviations, and paired comparisons.
+
+The paper reports single runs ("we repeated our experiments several
+times; we found that the results are similar", §4.1).  This module makes
+that claim checkable: run an experiment across seeds, aggregate each
+metric, and test paired protocol comparisons seed-by-seed (both
+protocols see the identical channel realization for a given seed, so a
+sign test over seeds is the right comparison).
+"""
+
+import math
+
+from repro.metrics.reports import format_table
+
+
+class MetricStats:
+    """Mean / stdev / min / max of one metric across seeds."""
+
+    def __init__(self, name, values):
+        values = [v for v in values if v is not None]
+        self.name = name
+        self.n = len(values)
+        self.values = values
+        if values:
+            self.mean = sum(values) / len(values)
+            self.min = min(values)
+            self.max = max(values)
+            if len(values) > 1:
+                var = sum((v - self.mean) ** 2 for v in values) / \
+                    (len(values) - 1)
+                self.stdev = math.sqrt(var)
+            else:
+                self.stdev = 0.0
+        else:
+            self.mean = self.min = self.max = self.stdev = None
+
+    def __repr__(self):
+        if self.mean is None:
+            return f"<{self.name}: no data>"
+        return (f"<{self.name}: {self.mean:.1f} +/- {self.stdev:.1f} "
+                f"[{self.min:.1f}, {self.max:.1f}] n={self.n}>")
+
+
+def replicate(experiment, seeds):
+    """Run ``experiment(seed) -> dict[str, number]`` for each seed and
+    aggregate each metric into a :class:`MetricStats`."""
+    per_seed = [experiment(seed) for seed in seeds]
+    keys = sorted({k for result in per_seed for k in result})
+    return {
+        key: MetricStats(key, [result.get(key) for result in per_seed])
+        for key in keys
+    }
+
+
+def mnp_run_metrics(rows=6, cols=6, n_segments=2, segment_packets=32):
+    """An ``experiment`` factory for :func:`replicate`: one standard MNP
+    grid run, reduced to its headline numbers."""
+    from repro.experiments.active_radio import run_simulation_grid
+    from repro.sim.kernel import SECOND
+
+    def experiment(seed):
+        run = run_simulation_grid(rows=rows, cols=cols,
+                                  n_segments=n_segments,
+                                  segment_packets=segment_packets,
+                                  seed=seed)
+        return {
+            "completion_s": run.completion_time_ms / SECOND
+            if run.completion_time_ms else None,
+            "art_s": run.average_active_radio_s(),
+            "collisions": run.collector.collisions,
+            "coverage": run.coverage,
+        }
+
+    return experiment
+
+
+def paired_protocol_wins(metric_a, metric_b):
+    """Seed-by-seed sign comparison of two MetricStats measured on paired
+    channels: fraction of seeds where A's value is strictly below B's."""
+    pairs = list(zip(metric_a.values, metric_b.values))
+    if not pairs:
+        return None
+    return sum(1 for a, b in pairs if a < b) / len(pairs)
+
+
+def protocol_statistics(protocols, seeds, rows=6, cols=6, n_segments=2,
+                        segment_packets=32):
+    """Replicated comparison: {protocol: {metric: MetricStats}}."""
+    from repro.experiments.active_radio import run_simulation_grid
+    from repro.sim.kernel import SECOND
+
+    stats = {}
+    for protocol in protocols:
+        def experiment(seed, protocol=protocol):
+            run = run_simulation_grid(
+                rows=rows, cols=cols, n_segments=n_segments,
+                segment_packets=segment_packets, seed=seed,
+                protocol=protocol,
+            )
+            return {
+                "completion_s": run.completion_time_ms / SECOND
+                if run.completion_time_ms else None,
+                "art_s": run.average_active_radio_s(),
+                "collisions": run.collector.collisions,
+                "coverage": run.coverage,
+            }
+
+        stats[protocol] = replicate(experiment, seeds)
+    return stats
+
+
+def statistics_report(stats, metrics=("completion_s", "art_s",
+                                      "collisions")):
+    rows = []
+    for protocol, per_metric in stats.items():
+        for metric in metrics:
+            ms = per_metric[metric]
+            if ms.mean is None:
+                rows.append([protocol, metric, "-", "-", "-", ms.n])
+            else:
+                rows.append([
+                    protocol, metric, f"{ms.mean:.1f}", f"{ms.stdev:.1f}",
+                    f"[{ms.min:.1f}, {ms.max:.1f}]", ms.n,
+                ])
+    return format_table(
+        ["protocol", "metric", "mean", "stdev", "range", "seeds"],
+        rows, title="Replicated results (mean over seeds)",
+    )

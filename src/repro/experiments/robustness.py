@@ -1,0 +1,173 @@
+"""Robustness experiments: failures and late arrivals.
+
+The paper's reliability argument rests on local decisions and timeouts
+("fail state is used to avoid infinite waiting", §3.4), which should make
+the protocol robust to exactly two perturbations a real deployment sees:
+
+* **churn** -- nodes die mid-dissemination (battery, weather, trampling);
+  the survivors must still reach 100% coverage as long as the surviving
+  network is connected;
+* **late joiners** -- nodes powered on after the network finished
+  updating must still acquire the code from their (now quiescent,
+  slow-advertising) neighbors.
+"""
+
+from repro.core.config import MNPConfig
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.net.loss_models import EmpiricalLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, SECOND
+from repro.sim.rng import derive_rng
+
+RANGE_FT = 25.0
+
+
+class ChurnOutcome:
+    """Result of a churn run."""
+
+    def __init__(self, killed, survivors_complete, survivors_total,
+                 completion_s, images_intact):
+        self.killed = killed
+        self.survivors_complete = survivors_complete
+        self.survivors_total = survivors_total
+        self.completion_s = completion_s
+        self.images_intact = images_intact
+
+    @property
+    def survivor_coverage(self):
+        return self.survivors_complete / self.survivors_total
+
+
+def run_churn(rows=6, cols=6, kill_fraction=0.15, kill_after_ms=None,
+              n_segments=2, seed=0, deadline_min=120):
+    """Kill a random subset of non-base nodes mid-run.
+
+    Victims are chosen so the surviving network stays connected from the
+    base station (the paper's §2 precondition); they die at
+    ``kill_after_ms`` (default: one-quarter of the deadline horizon into
+    the run).
+    """
+    topo = Topology.grid(rows, cols, 10.0)
+    image = CodeImage.random(1, n_segments=n_segments, segment_packets=32,
+                             seed=seed)
+    dep = Deployment(
+        topo, image=image, protocol="mnp",
+        protocol_config=MNPConfig(query_update=True), seed=seed,
+        propagation=PropagationModel(RANGE_FT, 3.0),
+        loss_model=EmpiricalLossModel(seed=seed),
+    )
+    rng = derive_rng(seed, "churn")
+    victims = _pick_victims(topo, dep.base_id, kill_fraction, rng)
+    kill_at = kill_after_ms if kill_after_ms is not None else 20 * SECOND
+
+    def kill():
+        for victim in victims:
+            dep.motes[victim].sleep_radio()
+            dep.nodes[victim]._stop_all_timers()
+
+    dep.sim.schedule(kill_at, kill)
+    dep.start()
+    survivors = [n for n in topo.node_ids() if n not in victims]
+    dep.sim.run_until(
+        lambda: all(dep.nodes[n].has_full_image for n in survivors),
+        check_every=SECOND, deadline=deadline_min * MINUTE,
+    )
+    complete = [n for n in survivors if dep.nodes[n].has_full_image]
+    expected = image.to_bytes()
+    intact = all(
+        dep.nodes[n].assemble_image() == expected for n in complete
+    )
+    return ChurnOutcome(
+        killed=sorted(victims),
+        survivors_complete=len(complete),
+        survivors_total=len(survivors),
+        completion_s=dep.sim.now / SECOND,
+        images_intact=intact,
+    )
+
+
+def _pick_victims(topology, base_id, fraction, rng):
+    """Random victims that keep the survivor graph connected from the
+    base (rejection sampling; greedy fallback one-by-one)."""
+    n_victims = max(1, int(len(topology) * fraction))
+    candidates = [n for n in topology.node_ids() if n != base_id]
+    for _ in range(200):
+        victims = set(rng.sample(candidates, n_victims))
+        if _survivors_connected(topology, base_id, victims):
+            return victims
+    # Greedy: add victims one at a time, skipping cut vertices.
+    victims = set()
+    rng.shuffle(candidates)
+    for candidate in candidates:
+        if len(victims) == n_victims:
+            break
+        trial = victims | {candidate}
+        if _survivors_connected(topology, base_id, trial):
+            victims = trial
+    return victims
+
+
+def _survivors_connected(topology, base_id, victims):
+    reachable = _reachable_excluding(topology, base_id, victims)
+    survivors = set(topology.node_ids()) - victims
+    return survivors <= reachable
+
+
+def _reachable_excluding(topology, source, excluded):
+    from collections import deque
+
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in topology.nodes_within(node, RANGE_FT):
+            if neighbor in excluded or neighbor in seen:
+                continue
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return seen
+
+
+def run_late_joiner(rows=4, cols=4, join_after_min=3.0, n_segments=1,
+                    seed=0, deadline_min=120):
+    """Power one node on only after the rest of the network has finished
+    updating; it must catch up from the quiescent network.
+
+    Returns ``(join_time_ms, catch_up_ms, deployment)`` where
+    ``catch_up_ms`` is how long the latecomer needed (None if it never
+    completed).
+    """
+    topo = Topology.grid(rows, cols, 10.0)
+    image = CodeImage.random(1, n_segments=n_segments, segment_packets=32,
+                             seed=seed)
+    dep = Deployment(
+        topo, image=image, protocol="mnp", seed=seed,
+        propagation=PropagationModel(RANGE_FT, 3.0),
+        loss_model=EmpiricalLossModel(seed=seed),
+    )
+    late = topo.center_node()
+    for node_id, node in dep.nodes.items():
+        if node_id != late:
+            node.start()
+    others = [n for n in topo.node_ids() if n != late]
+    done = dep.sim.run_until(
+        lambda: all(dep.nodes[n].has_full_image for n in others),
+        check_every=SECOND, deadline=join_after_min * MINUTE,
+    )
+    if not done:
+        # Let the network finish before the latecomer arrives.
+        dep.sim.run_until(
+            lambda: all(dep.nodes[n].has_full_image for n in others),
+            check_every=SECOND, deadline=deadline_min * MINUTE,
+        )
+    join_time = dep.sim.now
+    dep.nodes[late].start()
+    dep.sim.run_until(
+        lambda: dep.nodes[late].has_full_image,
+        check_every=SECOND, deadline=join_time + deadline_min * MINUTE,
+    )
+    catch_up = (dep.sim.now - join_time
+                if dep.nodes[late].has_full_image else None)
+    return join_time, catch_up, dep

@@ -1,0 +1,80 @@
+"""Program-size sweep: Figure 10.
+
+The paper sends programs of 1..10 segments (2.9..29.4 KB) through the
+20x20 grid and reports, per size: completion time, active radio time, and
+active radio time without the initial idle listening.  The claims:
+
+* completion time is linear in program size;
+* average active radio time stays a roughly constant fraction of the
+  completion time (the paper quotes ~30%).
+"""
+
+from repro.experiments.active_radio import run_simulation_grid
+from repro.experiments.scale import current_scale
+from repro.metrics.reports import format_table
+from repro.sim.kernel import SECOND
+
+
+class SweepPoint:
+    """Measurements for one program size."""
+
+    def __init__(self, n_segments, run):
+        self.n_segments = n_segments
+        self.size_kb = run.deployment.image.size_bytes / 1024.0
+        self.completion_s = run.completion_time_ms / SECOND \
+            if run.completion_time_ms else None
+        self.art_s = run.average_active_radio_s()
+        art_ni = run.active_radio_no_initial_ms()
+        self.art_no_init_s = sum(art_ni.values()) / len(art_ni) / SECOND
+
+    @property
+    def art_fraction(self):
+        if not self.completion_s:
+            return None
+        return self.art_s / self.completion_s
+
+
+def run_sweep(sizes=None, seed=0, config=None):
+    """Run the Fig. 10 sweep; returns a list of SweepPoint."""
+    sizes = sizes or current_scale().sweep_segments
+    points = []
+    for n_segments in sizes:
+        run = run_simulation_grid(n_segments=n_segments, seed=seed,
+                                  config=config)
+        points.append(SweepPoint(n_segments, run))
+    return points
+
+
+def fig10_report(points):
+    rows = [
+        [p.n_segments, f"{p.size_kb:.1f}",
+         f"{p.completion_s:.0f}" if p.completion_s else "-",
+         f"{p.art_s:.0f}", f"{p.art_no_init_s:.0f}",
+         f"{p.art_fraction:.0%}" if p.art_fraction else "-"]
+        for p in points
+    ]
+    return format_table(
+        ["segments", "size(KB)", "completion(s)", "ART(s)",
+         "ART w/o init(s)", "ART/completion"],
+        rows,
+        title="Fig. 10 -- completion time and active radio time vs "
+              "program size",
+    )
+
+
+def linearity_r2(points):
+    """R^2 of completion time vs segment count (the paper's 'linear with
+    the program size' claim)."""
+    xs = [p.n_segments for p in points]
+    ys = [p.completion_s for p in points]
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 1.0
+    return (sxy * sxy) / (sxx * syy)

@@ -1,0 +1,25 @@
+"""Mote hardware models: EEPROM, energy accounting, battery, and the mote.
+
+These reproduce the resource constraints the paper designs around: a 4 KB
+RAM / 128 KB ROM microcontroller, a 512 KB external flash (EEPROM) whose
+writes are two orders of magnitude more expensive than reads, and a battery
+whose dominant drain is the radio.
+"""
+
+from repro.hardware.eeprom import Eeprom, EepromError
+from repro.hardware.energy import EnergyModel, MICA_ENERGY_TABLE
+from repro.hardware.battery import Battery
+from repro.hardware.bootloader import Bootloader, InstallResult
+from repro.hardware.mote import Mote, MoteConfig
+
+__all__ = [
+    "Eeprom",
+    "EepromError",
+    "EnergyModel",
+    "MICA_ENERGY_TABLE",
+    "Battery",
+    "Bootloader",
+    "InstallResult",
+    "Mote",
+    "MoteConfig",
+]

@@ -1,0 +1,41 @@
+"""Battery model.
+
+The paper's future-work section proposes making the probability that a node
+forwards code proportional to its remaining battery: a low-battery node
+advertises at reduced transmission power, reaches fewer requesters, and
+therefore loses the sender selection.  The battery model supports that
+extension (implemented in :mod:`repro.core.mnp` behind
+``MNPConfig.battery_aware_power``).
+
+Capacity is in nAh to match Table 1; two AA cells are on the order of
+2.8 Ah = 2.8e9 nAh, but experiments typically start nodes with much smaller
+budgets so that depletion effects are visible.
+"""
+
+
+class Battery:
+    """Remaining-charge tracker."""
+
+    def __init__(self, capacity_nah=2.8e9, initial_fraction=1.0):
+        if capacity_nah <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= initial_fraction <= 1.0:
+            raise ValueError("initial_fraction must be in [0,1]")
+        self.capacity_nah = capacity_nah
+        self.remaining_nah = capacity_nah * initial_fraction
+
+    @property
+    def fraction(self):
+        """Remaining charge as a fraction of capacity, clamped to [0,1]."""
+        return max(0.0, min(1.0, self.remaining_nah / self.capacity_nah))
+
+    @property
+    def depleted(self):
+        return self.remaining_nah <= 0.0
+
+    def drain(self, nah):
+        """Withdraw charge; clamps at zero and returns the new remainder."""
+        if nah < 0:
+            raise ValueError("cannot drain a negative charge")
+        self.remaining_nah = max(0.0, self.remaining_nah - nah)
+        return self.remaining_nah

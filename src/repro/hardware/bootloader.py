@@ -1,0 +1,62 @@
+"""Bootloader model: what happens after the external start signal (§3.5).
+
+A Mica-2 mote reprograms by staging the image in external flash, then
+having the bootloader copy it into program memory on reboot.  The paper
+leaves reboot to an explicit external start signal; this model adds the
+two safety behaviours any real deployment layer needs around that:
+
+* **verification** -- the staged image's CRC must match the advertised
+  CRC before the bootloader will install it (the §2 accuracy requirement,
+  enforced at the last possible moment);
+* **golden image** -- a factory program that the mote can always fall
+  back to if an install is rejected, so a failed reprogramming attempt
+  never bricks the node.
+"""
+
+from repro.core.crc import crc16_ccitt
+
+
+class InstallResult:
+    OK = "ok"
+    CRC_MISMATCH = "crc-mismatch"
+    NOT_NEWER = "not-newer"
+
+
+class Bootloader:
+    """Per-mote install state."""
+
+    def __init__(self, golden_program_id=0):
+        self.golden_program_id = golden_program_id
+        self.running_program_id = golden_program_id
+        self.install_count = 0
+        self.rejected_count = 0
+        self.last_result = None
+
+    def install(self, program_id, image_bytes, expected_crc=None):
+        """Attempt to boot into a staged image.
+
+        Returns an :class:`InstallResult` value; on success the mote runs
+        the new program.  A stale or equal version is rejected (reboot
+        storms must not downgrade the network).
+        """
+        if program_id <= self.running_program_id:
+            self.last_result = InstallResult.NOT_NEWER
+            self.rejected_count += 1
+            return self.last_result
+        if expected_crc is not None and \
+                crc16_ccitt(image_bytes) != expected_crc:
+            self.last_result = InstallResult.CRC_MISMATCH
+            self.rejected_count += 1
+            return self.last_result
+        self.running_program_id = program_id
+        self.install_count += 1
+        self.last_result = InstallResult.OK
+        return self.last_result
+
+    def rollback(self):
+        """Fall back to the factory (golden) program."""
+        self.running_program_id = self.golden_program_id
+
+    def __repr__(self):
+        return (f"<Bootloader running=v{self.running_program_id} "
+                f"installs={self.install_count}>")

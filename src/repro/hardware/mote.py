@@ -1,0 +1,86 @@
+"""The mote: one node's hardware bundle.
+
+A :class:`Mote` wires together a radio, a CSMA MAC, an EEPROM, and a
+battery, all attached to a shared simulator and channel.  Protocol
+implementations (MNP, Deluge, ...) are written against this object; they
+never talk to the channel directly.
+"""
+
+from repro.hardware.battery import Battery
+from repro.hardware.bootloader import Bootloader
+from repro.hardware.eeprom import Eeprom
+from repro.radio.mac import CsmaMac, MacConfig
+from repro.radio.radio import Radio
+from repro.sim.rng import derive_rng
+from repro.sim.timers import Timer
+
+
+class MoteConfig:
+    """Hardware parameters shared by all motes in a deployment.
+
+    ``mac_factory`` swaps the medium-access layer: a callable
+    ``(sim, radio, channel, seed) -> mac`` returning any object with the
+    CsmaMac client surface (used to run MNP over TDMA, §6).  When None,
+    the default CSMA MAC is built from ``mac`` (a MacConfig).
+    """
+
+    def __init__(
+        self,
+        power_level=255,
+        eeprom_bytes=512 * 1024,
+        battery_capacity_nah=2.8e9,
+        mac=None,
+        mac_factory=None,
+    ):
+        self.power_level = power_level
+        self.eeprom_bytes = eeprom_bytes
+        self.battery_capacity_nah = battery_capacity_nah
+        self.mac = mac or MacConfig()
+        self.mac_factory = mac_factory
+
+
+class Mote:
+    """One sensor node's hardware."""
+
+    def __init__(self, sim, channel, node_id, config=None, seed=0):
+        config = config or MoteConfig()
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.radio = Radio(sim, node_id, power_level=config.power_level)
+        channel.attach(self.radio)
+        self.channel = channel
+        if config.mac_factory is not None:
+            self.mac = config.mac_factory(sim, self.radio, channel, seed)
+        else:
+            self.mac = CsmaMac(sim, self.radio, channel, config.mac,
+                               seed=seed)
+        self.eeprom = Eeprom(config.eeprom_bytes)
+        self.battery = Battery(config.battery_capacity_nah)
+        self.bootloader = Bootloader()
+        self.rng = derive_rng(seed, "mote", node_id)
+        self.rebooted_at = None
+
+    @property
+    def position(self):
+        return self.channel.topology.positions[self.node_id]
+
+    def new_timer(self, callback, name=""):
+        """Create a protocol timer bound to this mote's simulator."""
+        return Timer(self.sim, callback, name=f"n{self.node_id}:{name}")
+
+    def reboot(self):
+        """Record installation of the new image (driven by the external
+        start signal, per section 3.5 of the paper)."""
+        self.rebooted_at = self.sim.now
+
+    def sleep_radio(self):
+        """Turn the radio off and clear any pending MAC work."""
+        self.mac.reset()
+        self.radio.turn_off()
+
+    def wake_radio(self):
+        self.radio.turn_on()
+
+    def __repr__(self):
+        return f"<Mote {self.node_id} @{self.position}>"

@@ -1,0 +1,30 @@
+"""Measurement infrastructure.
+
+The collector subscribes to the simulator's trace bus and accumulates
+exactly the quantities the paper's evaluation section reports: per-node
+active radio time (with and without the initial idle-listening period),
+message transmissions/receptions by type and location, collision counts,
+get-code times, parent-child relationships, and the order in which nodes
+become senders.  The reports module renders them as the tables and
+grid-heatmap figures of the paper.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.export import TraceWriter, export_run, read_trace
+from repro.metrics.reports import (
+    format_grid,
+    format_table,
+    format_timeline,
+    summarize,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "TraceWriter",
+    "export_run",
+    "read_trace",
+    "format_grid",
+    "format_table",
+    "format_timeline",
+    "summarize",
+]

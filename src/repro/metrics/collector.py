@@ -1,0 +1,111 @@
+"""Trace-driven metrics collection.
+
+A :class:`MetricsCollector` is attached to a simulator *before* the run and
+accumulates protocol- and radio-level events; at the end of the run the
+experiment harness combines them with the radios' time integrals to produce
+the paper's metrics.  Collection is entirely passive -- protocols are
+unaware of it.
+"""
+
+from collections import Counter, defaultdict
+
+
+class MetricsCollector:
+    """Accumulates trace records for one simulation run."""
+
+    CATEGORIES = (
+        "radio.tx",
+        "radio.rx",
+        "channel.collision",
+        "mnp.sender",
+        "mnp.parent",
+        "mnp.got_segment",
+        "mnp.got_code",
+        "mnp.first_adv",
+        "mnp.fail",
+        "proto.sender",
+        "proto.parent",
+        "proto.got_code",
+    )
+
+    def __init__(self, sim):
+        self.sim = sim
+        # Transmissions / receptions
+        self.tx_by_node = Counter()
+        self.tx_by_node_kind = defaultdict(Counter)
+        self.tx_log = []  # (time, node, kind)
+        self.rx_by_node = Counter()
+        self.collisions = 0
+        # Protocol progress
+        self.got_code = {}  # node -> time
+        self.got_segment = defaultdict(dict)  # node -> seg -> (time, parent)
+        self.parents = {}  # node -> last parent used
+        self.sender_events = []  # (time, node, seg, req_ctr)
+        self.first_adv = {}  # node -> (time, radio_on_ms at that instant)
+        self.fails = Counter()
+        sim.tracer.subscribe(self._on_record, categories=self.CATEGORIES)
+
+    # ------------------------------------------------------------------
+    def _on_record(self, rec):
+        fields = rec.fields
+        category = rec.category
+        if category == "radio.tx":
+            node = fields["node"]
+            kind = fields["kind"]
+            self.tx_by_node[node] += 1
+            self.tx_by_node_kind[node][kind] += 1
+            self.tx_log.append((rec.time, node, kind))
+        elif category == "radio.rx":
+            self.rx_by_node[fields["node"]] += 1
+        elif category == "channel.collision":
+            self.collisions += 1
+        elif category in ("mnp.sender", "proto.sender"):
+            self.sender_events.append(
+                (rec.time, fields["node"], fields.get("seg"),
+                 fields.get("req_ctr"))
+            )
+        elif category in ("mnp.parent", "proto.parent"):
+            self.parents[fields["node"]] = fields["parent"]
+        elif category == "mnp.got_segment":
+            self.got_segment[fields["node"]][fields["seg"]] = (
+                rec.time, fields["parent"],
+            )
+        elif category in ("mnp.got_code", "proto.got_code"):
+            self.got_code.setdefault(fields["node"], rec.time)
+        elif category == "mnp.first_adv":
+            self.first_adv[fields["node"]] = (rec.time, fields["radio_on_ms"])
+        elif category == "mnp.fail":
+            self.fails[fields["node"]] += 1
+
+    # ------------------------------------------------------------------
+    # Derived series
+    # ------------------------------------------------------------------
+    def sender_order(self):
+        """Nodes in the order they first became senders (Figs. 5-7)."""
+        seen = []
+        for _, node, _, _ in sorted(self.sender_events):
+            if node not in seen:
+                seen.append(node)
+        return seen
+
+    def tx_per_window(self, window_ms, kinds=None, until=None):
+        """Message transmissions bucketed into fixed windows (Fig. 12).
+
+        Returns ``{kind: [count per window]}`` with all lists equally long.
+        """
+        if until is None:
+            until = max((t for t, _, _ in self.tx_log), default=0.0)
+        n_windows = int(until // window_ms) + 1 if until else 1
+        if kinds is None:
+            kinds = sorted({kind for _, _, kind in self.tx_log})
+        series = {kind: [0] * n_windows for kind in kinds}
+        for time, _, kind in self.tx_log:
+            if kind in series and time <= until:
+                series[kind][int(time // window_ms)] += 1
+        return series
+
+    def completion_time(self, n_nodes):
+        """Time the last of ``n_nodes`` nodes got the full image, or None."""
+        if len(self.got_code) < n_nodes:
+            return None
+        return max(self.got_code.values())

@@ -1,0 +1,75 @@
+"""Trace export: persist a run's event stream as JSON Lines.
+
+A :class:`TraceWriter` subscribes to the simulator's trace bus and writes
+one JSON object per record, so a run can be analysed offline (or diffed
+across protocol variants) without re-simulating.  :func:`read_trace`
+loads a file back into :class:`repro.sim.tracing.TraceRecord` objects.
+
+Format: ``{"t": <ms>, "c": "<category>", ...fields}`` -- flat, stable,
+and greppable.  Non-JSON-serializable field values (e.g. BitVectors) are
+stringified.
+"""
+
+import json
+
+from repro.sim.tracing import TraceRecord
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class TraceWriter:
+    """Streams trace records from a simulator to a JSONL file object."""
+
+    def __init__(self, sim, stream, categories=None):
+        self.stream = stream
+        self.records_written = 0
+        self._sim = sim
+        self._fn = sim.tracer.subscribe(self._write, categories=categories)
+
+    def _write(self, record):
+        payload = {"t": record.time, "c": record.category}
+        for key, value in record.fields.items():
+            payload[key] = _jsonable(value)
+        self.stream.write(json.dumps(payload, separators=(",", ":")))
+        self.stream.write("\n")
+        self.records_written += 1
+
+    def close(self):
+        """Stop recording (the stream itself is the caller's to close)."""
+        self._sim.tracer.unsubscribe(self._fn)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def read_trace(stream):
+    """Yield TraceRecord objects from a JSONL stream."""
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        time = payload.pop("t")
+        category = payload.pop("c")
+        yield TraceRecord(time, category, payload)
+
+
+def export_run(deployment, path, categories=None, deadline_ms=None):
+    """Convenience: run a deployment to completion while writing its trace
+    to ``path``; returns the RunResult."""
+    from repro.sim.kernel import MINUTE
+
+    if deadline_ms is None:
+        deadline_ms = 4 * 60 * MINUTE
+    with open(path, "w") as fh:
+        with TraceWriter(deployment.sim, fh, categories=categories):
+            result = deployment.run_to_completion(deadline_ms=deadline_ms)
+    return result

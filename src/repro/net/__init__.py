@@ -1,0 +1,35 @@
+"""Network topology generation and link loss models.
+
+The paper deploys motes in grids (indoor 5x5, outdoor 7x7 and 2x10, and
+simulated 20x20) and models the TOSSIM network as a directed graph whose
+edges carry independent bit-error probabilities derived from empirical
+loss-vs-distance measurements.  This package provides both halves.
+"""
+
+from repro.net.connectivity import (
+    hop_counts,
+    is_connected,
+    min_connecting_power,
+    network_diameter_hops,
+)
+from repro.net.topology import Topology
+from repro.net.loss_models import (
+    MICA2_PRR_TABLE,
+    EmpiricalLossModel,
+    PerfectLossModel,
+    TabulatedLossModel,
+    UniformLossModel,
+)
+
+__all__ = [
+    "Topology",
+    "hop_counts",
+    "is_connected",
+    "min_connecting_power",
+    "network_diameter_hops",
+    "EmpiricalLossModel",
+    "TabulatedLossModel",
+    "MICA2_PRR_TABLE",
+    "PerfectLossModel",
+    "UniformLossModel",
+]

@@ -1,0 +1,82 @@
+"""Connectivity analysis of a deployment.
+
+The paper's coverage guarantee (§2) holds only "as long as the network is
+connected".  These helpers let experiments and tests verify that premise
+for a given topology + propagation + power level, and compute hop counts
+from the base station (used by the propagation-dynamics analysis and by
+deployment-planning examples).
+"""
+
+from collections import deque
+
+
+def adjacency(topology, range_ft):
+    """Adjacency lists under a fixed communication range (symmetric)."""
+    return {
+        node: topology.nodes_within(node, range_ft)
+        for node in topology.node_ids()
+    }
+
+
+def reachable_from(topology, range_ft, source):
+    """Set of nodes reachable from ``source`` by flooding within range."""
+    adj = adjacency(topology, range_ft)
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in adj[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def is_connected(topology, range_ft, source=0):
+    """True if every node is reachable from ``source``."""
+    return len(reachable_from(topology, range_ft, source)) == len(topology)
+
+
+def hop_counts(topology, range_ft, source):
+    """BFS hop distance from ``source``; unreachable nodes are absent."""
+    adj = adjacency(topology, range_ft)
+    hops = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in adj[node]:
+            if neighbor not in hops:
+                hops[neighbor] = hops[node] + 1
+                frontier.append(neighbor)
+    return hops
+
+
+def network_diameter_hops(topology, range_ft):
+    """Maximum over nodes of the BFS eccentricity (None if disconnected)."""
+    n = len(topology)
+    worst = 0
+    for source in topology.node_ids():
+        hops = hop_counts(topology, range_ft, source)
+        if len(hops) < n:
+            return None
+        worst = max(worst, max(hops.values()))
+    return worst
+
+
+def min_connecting_power(topology, propagation, source=0):
+    """Smallest TinyOS power level (1..255) at which the deployment is
+    connected from ``source``, or None if even full power fails.
+
+    Useful for planning the paper's low-power experiments: it answers
+    "how low can the power go before the grid partitions?".
+    """
+    lo, hi = 1, 255
+    if not is_connected(topology, propagation.range_ft(hi), source):
+        return None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if is_connected(topology, propagation.range_ft(mid), source):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,108 @@
+"""Node placement: the grid layouts used throughout the paper.
+
+Distances are in feet to match the paper's reporting (4 ft inter-node
+spacing in the mote experiments, 10 ft in the TOSSIM simulations).
+"""
+
+import math
+
+
+class Topology:
+    """A set of node positions on the plane.
+
+    Node ids are dense integers ``0..n-1``.  The paper's convention is that
+    the base station is a corner node; helpers below expose the common
+    corners.
+    """
+
+    def __init__(self, positions):
+        self.positions = list(positions)
+        if not self.positions:
+            raise ValueError("topology must contain at least one node")
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's layouts
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(cls, rows, cols, spacing_ft):
+        """``rows x cols`` grid; node id ``r*cols + c`` sits at
+        ``(c*spacing, r*spacing)``."""
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        return cls(
+            [(c * spacing_ft, r * spacing_ft) for r in range(rows) for c in range(cols)]
+        )
+
+    @classmethod
+    def line(cls, n, spacing_ft):
+        """A 1 x n line of nodes (degenerate grid)."""
+        return cls.grid(1, n, spacing_ft)
+
+    @classmethod
+    def random_uniform(cls, n, width_ft, height_ft, rng):
+        """``n`` nodes placed uniformly at random in a rectangle."""
+        if n < 1:
+            raise ValueError("need at least one node")
+        return cls(
+            [(rng.uniform(0, width_ft), rng.uniform(0, height_ft)) for _ in range(n)]
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.positions)
+
+    def node_ids(self):
+        return range(len(self.positions))
+
+    def distance(self, i, j):
+        """Euclidean distance in feet between nodes ``i`` and ``j``."""
+        (xi, yi), (xj, yj) = self.positions[i], self.positions[j]
+        return math.hypot(xi - xj, yi - yj)
+
+    def nodes_within(self, i, radius_ft):
+        """Ids of all nodes other than ``i`` at distance <= ``radius_ft``."""
+        return [
+            j
+            for j in self.node_ids()
+            if j != i and self.distance(i, j) <= radius_ft
+        ]
+
+    def bounding_box(self):
+        """``(width, height)`` of the deployment area."""
+        xs = [p[0] for p in self.positions]
+        ys = [p[1] for p in self.positions]
+        return (max(xs) - min(xs), max(ys) - min(ys))
+
+    # Corner helpers (the paper places the base station at a corner).
+    def corner_node(self, which="bottom-left"):
+        """Node id closest to the requested corner of the bounding box."""
+        xs = [p[0] for p in self.positions]
+        ys = [p[1] for p in self.positions]
+        corners = {
+            "bottom-left": (min(xs), min(ys)),
+            "bottom-right": (max(xs), min(ys)),
+            "top-left": (min(xs), max(ys)),
+            "top-right": (max(xs), max(ys)),
+        }
+        try:
+            cx, cy = corners[which]
+        except KeyError:
+            raise ValueError(f"unknown corner {which!r}") from None
+        return min(
+            self.node_ids(),
+            key=lambda i: (self.positions[i][0] - cx) ** 2
+            + (self.positions[i][1] - cy) ** 2,
+        )
+
+    def center_node(self):
+        """Node id closest to the centroid of the bounding box."""
+        xs = [p[0] for p in self.positions]
+        ys = [p[1] for p in self.positions]
+        cx, cy = (min(xs) + max(xs)) / 2, (min(ys) + max(ys)) / 2
+        return min(
+            self.node_ids(),
+            key=lambda i: (self.positions[i][0] - cx) ** 2
+            + (self.positions[i][1] - cy) ** 2,
+        )

@@ -1,0 +1,237 @@
+"""The shared wireless medium.
+
+The channel connects all radios over a :class:`repro.net.topology.Topology`.
+It implements exactly the physical effects the paper's protocol design
+responds to:
+
+* **Broadcast**: a transmission reaches every node within the sender's
+  power-dependent range.
+* **Collisions**: if two audible transmissions overlap at a listening
+  receiver, *both* frames are corrupted there.  Because carrier sense is
+  performed at the sender (see :class:`repro.radio.mac.CsmaMac`), two
+  senders out of range of each other can still destroy packets at a common
+  receiver -- the hidden terminal problem that MNP's sender selection
+  attacks.
+* **Bit errors**: a frame that survives collisions is decoded with
+  probability ``(1 - ber) ** (8 * on_air_bytes)`` where the per-directed-
+  edge BER comes from the loss model (asymmetric lossy links, as in
+  TOSSIM).
+* **Airtime**: frames occupy the medium for ``on_air_bytes * 8 / bitrate``
+  (19.2 kbps for the Mica-2 CC1000).
+
+Energy-relevant bookkeeping (tx/rx time, successful receptions, collision
+counts) is pushed into the radios; trace records are emitted for the
+metrics layer.
+"""
+
+from repro.sim.rng import derive_rng
+
+MICA2_BITRATE_KBPS = 19.2
+
+
+class _Transmission:
+    __slots__ = ("src", "frame", "start", "end", "range_ft", "aborted")
+
+    def __init__(self, src, frame, start, end, range_ft):
+        self.src = src
+        self.frame = frame
+        self.start = start
+        self.end = end
+        self.range_ft = range_ft
+        self.aborted = False
+
+
+class _Reception:
+    __slots__ = ("transmission", "corrupted")
+
+    def __init__(self, transmission):
+        self.transmission = transmission
+        self.corrupted = False
+
+
+class Channel:
+    """Wireless medium over a fixed topology."""
+
+    def __init__(
+        self,
+        sim,
+        topology,
+        loss_model,
+        propagation,
+        bitrate_kbps=MICA2_BITRATE_KBPS,
+        seed=0,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.loss_model = loss_model
+        self.propagation = propagation
+        self.bitrate_kbps = bitrate_kbps
+        self._rng = derive_rng(seed, "channel")
+        self._radios = {}
+        self._neighbor_cache = {}
+        self._active = {}  # src node id -> _Transmission
+        self._receptions = {}  # dst node id -> {src id: _Reception}
+        # Aggregate counters (for figures and tests)
+        self.transmissions = 0
+        self.collisions = 0
+        self.bit_error_losses = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def attach(self, radio):
+        """Register a radio; its node id must exist in the topology."""
+        if radio.node_id not in self.topology.node_ids():
+            raise ValueError(f"node {radio.node_id} not in topology")
+        self._radios[radio.node_id] = radio
+        radio.channel = self
+        self._receptions.setdefault(radio.node_id, {})
+
+    def neighbors(self, node_id, power_level):
+        """Nodes within range of ``node_id`` transmitting at ``power_level``
+        (cached; topology is static)."""
+        key = (node_id, power_level)
+        cached = self._neighbor_cache.get(key)
+        if cached is None:
+            range_ft = self.propagation.range_ft(power_level)
+            cached = self.topology.nodes_within(node_id, range_ft)
+            self._neighbor_cache[key] = cached
+        return cached
+
+    def airtime_ms(self, frame):
+        return frame.on_air_bytes * 8.0 / self.bitrate_kbps
+
+    # ------------------------------------------------------------------
+    # Carrier sense
+    # ------------------------------------------------------------------
+    def carrier_busy(self, node_id):
+        """True if the node's own radio is transmitting or any active
+        transmission is audible at the node."""
+        radio = self._radios[node_id]
+        if radio.transmitting:
+            return True
+        for src, tx in self._active.items():
+            if src == node_id:
+                continue
+            if self.topology.distance(src, node_id) <= tx.range_ft:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, radio, frame, on_done=None):
+        """Put a frame on the air from ``radio``.
+
+        Returns the airtime in ms.  ``on_done`` is invoked (with no
+        arguments) when the transmission completes.
+        """
+        src = radio.node_id
+        if not radio.is_on:
+            raise RuntimeError(f"node {src}: transmit with radio off")
+        if src in self._active:
+            raise RuntimeError(f"node {src}: already transmitting")
+        airtime = self.airtime_ms(frame)
+        range_ft = self.propagation.range_ft(radio.power_level)
+        tx = _Transmission(src, frame, self.sim.now, self.sim.now + airtime, range_ft)
+        self._active[src] = tx
+        radio.tx_started()
+        self.transmissions += 1
+        self.sim.tracer.emit(
+            "radio.tx",
+            node=src,
+            kind=type(frame.payload).__name__,
+            bytes=frame.on_air_bytes,
+            power=radio.power_level,
+        )
+        # Begin reception at every audible, listening neighbor.
+        for dst in self.neighbors(src, radio.power_level):
+            receiver = self._radios.get(dst)
+            if receiver is None or not receiver.is_on or receiver.transmitting:
+                continue
+            self._begin_reception(receiver, tx)
+        self.sim.schedule(airtime, self._finish_transmission, tx, on_done)
+        return airtime
+
+    def _begin_reception(self, receiver, tx):
+        ongoing = self._receptions[receiver.node_id]
+        reception = _Reception(tx)
+        if ongoing:
+            # Overlap at this receiver corrupts everything in flight.
+            reception.corrupted = True
+            for other in ongoing.values():
+                if not other.corrupted:
+                    other.corrupted = True
+                    self.collisions += 1
+                    self.sim.tracer.emit(
+                        "channel.collision",
+                        node=receiver.node_id,
+                        src=other.transmission.src,
+                        other_src=tx.src,
+                    )
+            self.collisions += 1
+            self.sim.tracer.emit(
+                "channel.collision",
+                node=receiver.node_id,
+                src=tx.src,
+                other_src=next(iter(ongoing.values())).transmission.src,
+            )
+        ongoing[tx.src] = reception
+        receiver.rx_began()
+
+    def _finish_transmission(self, tx, on_done):
+        self._active.pop(tx.src, None)
+        sender = self._radios[tx.src]
+        if not tx.aborted:
+            sender.tx_finished(self.sim.now - tx.start)
+        # Resolve receptions.
+        for dst, ongoing in self._receptions.items():
+            reception = ongoing.pop(tx.src, None)
+            if reception is None or reception.transmission is not tx:
+                if reception is not None:
+                    ongoing[tx.src] = reception  # different overlapping tx
+                continue
+            receiver = self._radios[dst]
+            receiver.rx_ended()
+            if tx.aborted:
+                continue
+            if reception.corrupted:
+                receiver.frames_corrupted += 1
+                continue
+            distance = self.topology.distance(tx.src, dst)
+            ber = self.loss_model.ber(tx.src, dst, distance, tx.range_ft)
+            success_p = (1.0 - ber) ** (8 * tx.frame.on_air_bytes)
+            if self._rng.random() <= success_p:
+                self.sim.tracer.emit(
+                    "radio.rx",
+                    node=dst,
+                    src=tx.src,
+                    kind=type(tx.frame.payload).__name__,
+                    bytes=tx.frame.on_air_bytes,
+                )
+                receiver.deliver(tx.frame)
+            else:
+                receiver.frames_bit_errors += 1
+                self.bit_error_losses += 1
+        if on_done is not None and not tx.aborted:
+            on_done()
+
+    # ------------------------------------------------------------------
+    # Radio lifecycle hooks
+    # ------------------------------------------------------------------
+    def radio_went_off(self, radio):
+        """A radio switched off: abort its transmission and drop its
+        in-flight receptions."""
+        node = radio.node_id
+        tx = self._active.pop(node, None)
+        if tx is not None:
+            tx.aborted = True
+            # Receivers hear the carrier vanish; close their rx intervals now.
+            for dst, ongoing in self._receptions.items():
+                reception = ongoing.pop(node, None)
+                if reception is not None and reception.transmission is tx:
+                    self._radios[dst].rx_ended()
+                elif reception is not None:
+                    ongoing[node] = reception
+        # Frames this node was receiving are simply lost.
+        self._receptions[node].clear()

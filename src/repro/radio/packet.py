@@ -1,0 +1,44 @@
+"""Radio frames.
+
+A :class:`Frame` is what travels on the air: a protocol message (the
+``payload``) plus the link-layer source/destination and the on-air size.
+Protocols declare the serialized size of each message type; the channel uses
+``on_air_bytes`` both for airtime and for the per-bit error draw.
+
+All MNP traffic is link-layer broadcast (the paper unicasts logically by
+embedding a ``DestID`` field inside the payload), so ``dst`` defaults to
+:data:`BROADCAST`.
+"""
+
+BROADCAST = -1
+
+# Physical-layer framing overhead on the Mica-2 CC1000 stack: preamble +
+# sync + TinyOS AM header + CRC, on top of the application payload.
+PHY_OVERHEAD_BYTES = 18
+
+
+class Frame:
+    """One on-air frame."""
+
+    __slots__ = ("src", "dst", "payload", "payload_bytes", "sequence")
+
+    _sequence_counter = 0
+
+    def __init__(self, src, payload, payload_bytes, dst=BROADCAST):
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        Frame._sequence_counter += 1
+        self.sequence = Frame._sequence_counter
+
+    @property
+    def on_air_bytes(self):
+        """Total bytes the radio actually clocks out for this frame."""
+        return self.payload_bytes + PHY_OVERHEAD_BYTES
+
+    def __repr__(self):
+        kind = type(self.payload).__name__
+        return f"<Frame #{self.sequence} {kind} from {self.src}>"

@@ -1,0 +1,65 @@
+"""Transmission power to communication range.
+
+TinyOS exposes CC1000 power levels 1..255 (255 is the default full power).
+The paper exploits this: indoor experiments run at levels 1 and 2 to force
+multi-hop behaviour on a 4 ft grid; outdoor experiments use full power and
+level 10; and the future-work section proposes advertising at a power
+proportional to remaining battery.
+
+We model range with a log-distance path-loss law: the CC1000's output power
+spans roughly -20 dBm (level 1) to +5 dBm (level 255), and received power
+falls as ``10 * n * log10(d)`` with environment-dependent exponent ``n``.
+Solving for the distance at which packets stop being decodable gives
+
+    range(level) = full_range * 10 ** ((dbm(level) - dbm(255)) / (10 * n))
+
+with ``dbm(level)`` linear in ``log2(level)`` across the CC1000's register
+steps.  Environment presets pin ``full_range`` and ``n`` to values that give
+the qualitative behaviour of the paper's testbeds (a handful of hops at low
+power indoors, base-station coverage of most of a 7x7 grid at full power
+outdoors).
+"""
+
+import math
+
+FULL_POWER = 255
+MIN_POWER = 1
+
+_DBM_AT_MIN = -20.0
+_DBM_AT_FULL = 5.0
+
+
+class PropagationModel:
+    """Maps a TinyOS power level to a communication range in feet."""
+
+    def __init__(self, full_range_ft, path_loss_exponent):
+        if full_range_ft <= 0:
+            raise ValueError("full_range_ft must be positive")
+        if path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        self.full_range_ft = full_range_ft
+        self.path_loss_exponent = path_loss_exponent
+
+    @classmethod
+    def indoor(cls, full_range_ft=40.0):
+        """Classroom-like environment: strong attenuation (n = 4.5)."""
+        return cls(full_range_ft, 4.5)
+
+    @classmethod
+    def outdoor(cls, full_range_ft=60.0):
+        """Open grass field: near-free-space attenuation (n = 3.0)."""
+        return cls(full_range_ft, 3.0)
+
+    @staticmethod
+    def dbm(level):
+        """Output power in dBm for a TinyOS power level (1..255)."""
+        if not MIN_POWER <= level <= FULL_POWER:
+            raise ValueError(f"power level must be in 1..255, got {level}")
+        span = math.log2(FULL_POWER / MIN_POWER)
+        frac = math.log2(level / MIN_POWER) / span
+        return _DBM_AT_MIN + frac * (_DBM_AT_FULL - _DBM_AT_MIN)
+
+    def range_ft(self, level):
+        """Communication range in feet at the given power level."""
+        delta_dbm = self.dbm(level) - _DBM_AT_FULL
+        return self.full_range_ft * 10 ** (delta_dbm / (10 * self.path_loss_exponent))

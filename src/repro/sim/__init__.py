@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel.
+
+This package provides the simulation substrate that everything else in the
+reproduction runs on: a virtual clock, an event queue with cancellation,
+restartable timers, deterministic per-component random streams, and a
+lightweight tracing bus.
+
+The kernel is deliberately minimal and synchronous -- events are callbacks
+executed in timestamp order -- which matches the level of abstraction TOSSIM
+exposes to protocol code (the paper's simulation vehicle).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+from repro.sim.rng import derive_rng
+from repro.sim.tracing import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Timer",
+    "derive_rng",
+    "TraceRecord",
+    "Tracer",
+]

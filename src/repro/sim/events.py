@@ -1,0 +1,84 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, so simultaneous events execute in scheduling order
+and runs are fully deterministic.
+"""
+
+import heapq
+import itertools
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code normally only keeps a reference in order to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event so the queue skips it; cancelling twice is a no-op."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f} {name}{state}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap and are discarded
+    on pop, which keeps both operations O(log n).
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time, fn, args=()):
+        """Insert a callback at absolute ``time``; returns the Event handle."""
+        event = Event(time, next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self):
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self):
+        """Time of the earliest live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self):
+        return self._live
+
+    def __bool__(self):
+        return self._live > 0
+
+    def notice_cancel(self):
+        """Account for an externally cancelled event (kept internal to kernel)."""
+        self._live -= 1

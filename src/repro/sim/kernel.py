@@ -1,0 +1,124 @@
+"""The simulation kernel: virtual clock plus event loop.
+
+Time is measured in *milliseconds* as floats throughout the reproduction;
+helpers :data:`SECOND` and :data:`MINUTE` keep call sites readable.
+"""
+
+import random
+
+from repro.sim.events import EventQueue
+from repro.sim.tracing import Tracer
+
+SECOND = 1000.0
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """Discrete-event simulator with a millisecond virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the run.  All randomness in a simulation must be
+        drawn from :attr:`rng` or from streams derived from it
+        (:func:`repro.sim.rng.derive_rng`) so runs are reproducible.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.queue = EventQueue()
+        self.tracer = Tracer(self)
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` milliseconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.queue.push(self.now + delay, fn, args)
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} (now={self.now})")
+        return self.queue.push(time, fn, args)
+
+    def cancel(self, event):
+        """Cancel a previously scheduled event; idempotent."""
+        if event is not None and not event.cancelled:
+            event.cancel()
+            self.queue.notice_cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until=None, max_events=None):
+        """Execute events in order.
+
+        Stops when the queue drains, when virtual time would pass ``until``
+        (clock is then advanced exactly to ``until``), when ``max_events``
+        have run, or when :meth:`stop` is called from inside an event.
+        Returns the number of events executed during this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self.queue and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self.now = until
+                    break
+                event = self.queue.pop()
+                if event is None:
+                    break
+                self.now = event.time
+                event.fn(*event.args)
+                executed += 1
+                self.events_executed += 1
+            else:
+                if until is not None and not self._stopped and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, predicate, check_every=1000.0, deadline=None):
+        """Run until ``predicate()`` is true, polling every ``check_every`` ms.
+
+        Returns True if the predicate became true, False if the simulation
+        drained or the ``deadline`` (absolute ms) passed first.
+        """
+        while True:
+            if predicate():
+                return True
+            horizon = self.now + check_every
+            if deadline is not None:
+                horizon = min(horizon, deadline)
+            if not self.queue:
+                return predicate()
+            self.run(until=horizon)
+            if deadline is not None and self.now >= deadline:
+                return predicate()
+
+    def stop(self):
+        """Stop the event loop after the current event completes."""
+        self._stopped = True
+
+    def __repr__(self):
+        return f"<Simulator t={self.now:.1f}ms pending={len(self.queue)}>"

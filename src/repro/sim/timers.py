@@ -1,0 +1,52 @@
+"""Restartable one-shot timers.
+
+Protocol code in this reproduction is written against timers the way TinyOS
+components are: a timer is armed with a delay, may be restarted (which
+cancels the pending expiry), and invokes a callback when it fires.  The
+MNP state machine uses them for advertisement intervals, download
+timeouts, sleep periods, and repair waits.
+"""
+
+
+class Timer:
+    """A one-shot timer bound to a :class:`repro.sim.kernel.Simulator`.
+
+    The callback is invoked with no arguments when the timer fires.  A timer
+    may be freely restarted or stopped; only the most recent :meth:`start`
+    can fire.
+    """
+
+    def __init__(self, sim, callback, name=""):
+        self.sim = sim
+        self.callback = callback
+        self.name = name
+        self._event = None
+
+    @property
+    def running(self):
+        """True if the timer is armed and has not yet fired or been stopped."""
+        return self._event is not None
+
+    @property
+    def expiry(self):
+        """Absolute fire time, or None when not running."""
+        return self._event.time if self._event is not None else None
+
+    def start(self, delay):
+        """Arm (or re-arm) the timer to fire ``delay`` ms from now."""
+        self.stop()
+        self._event = self.sim.schedule(delay, self._fire)
+
+    def stop(self):
+        """Disarm the timer; a no-op if it is not running."""
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self.callback()
+
+    def __repr__(self):
+        state = f"fires@{self.expiry:.1f}" if self.running else "idle"
+        return f"<Timer {self.name or id(self)} {state}>"

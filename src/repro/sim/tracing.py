@@ -1,0 +1,64 @@
+"""Lightweight tracing bus for simulation runs.
+
+Components emit structured trace records (category + fields); subscribers --
+metric collectors, tests, or a debugging printer -- receive them
+synchronously.  Metrics in the reproduction are built entirely on traces, so
+protocol code never needs to know which figures are being produced.
+"""
+
+
+class TraceRecord:
+    """One trace entry: virtual time, category string, and a fields dict."""
+
+    __slots__ = ("time", "category", "fields")
+
+    def __init__(self, time, category, fields):
+        self.time = time
+        self.category = category
+        self.fields = fields
+
+    def __getattr__(self, name):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self):
+        parts = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"<{self.category} @{self.time:.1f}ms {parts}>"
+
+
+class Tracer:
+    """Publish/subscribe hub for :class:`TraceRecord` objects."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self._subscribers = []
+        self.enabled = True
+
+    def subscribe(self, fn, categories=None):
+        """Register ``fn(record)``; ``categories`` limits delivery if given."""
+        if categories is not None:
+            categories = frozenset(categories)
+        self._subscribers.append((fn, categories))
+        return fn
+
+    def unsubscribe(self, fn):
+        self._subscribers = [(f, c) for f, c in self._subscribers if f is not fn]
+
+    def emit(self, category, **fields):
+        """Publish a record stamped with the current virtual time."""
+        if not self.enabled or not self._subscribers:
+            return
+        record = TraceRecord(self._sim.now, category, fields)
+        for fn, categories in self._subscribers:
+            if categories is None or category in categories:
+                fn(record)
+
+    def print_to(self, stream, categories=None):
+        """Convenience: subscribe a printer writing one line per record."""
+
+        def _printer(record):
+            stream.write(f"{record}\n")
+
+        return self.subscribe(_printer, categories)

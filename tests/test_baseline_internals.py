@@ -1,0 +1,214 @@
+"""Unit-level tests of baseline protocol internals (handlers driven
+directly, without full dissemination runs)."""
+
+from repro.baselines.deluge import DelugeNode, PageRequest, Summary
+from repro.baselines.moap import (
+    EndOfImage,
+    MoapNode,
+    Nak,
+    Publish,
+    Subscribe,
+)
+from repro.baselines.xnp import XnpAdv, XnpNak, XnpNode, XnpQuery
+from repro.core.bitvector import BitVector
+from repro.core.messages import DataPacket
+from repro.core.segments import CodeImage
+from tests.conftest import make_world
+
+
+def pair(cls, image=None, **kwargs):
+    world = make_world([(0.0, 0.0), (10.0, 0.0)])
+    base = cls(world.motes[0], image=image, **kwargs)
+    node = cls(world.motes[1], **kwargs)
+    return world, base, node
+
+
+def image2():
+    return CodeImage.random(1, n_segments=2, segment_packets=4, seed=41)
+
+
+# ----------------------------------------------------------------------
+# Deluge
+# ----------------------------------------------------------------------
+def summary(src, gamma, program=1):
+    return Summary(src, program, 2, 4, 4, gamma)
+
+
+def test_deluge_summary_teaches_program():
+    world, base, node = pair(DelugeNode, image=image2())
+    node.start()
+    node._handle_summary(summary(0, gamma=2))
+    assert node.program is not None
+    assert node.program.n_segments == 2
+
+
+def test_deluge_consistent_summary_feeds_trickle():
+    world, base, node = pair(DelugeNode, image=image2())
+    node.start()
+    node._handle_summary(summary(0, gamma=0))
+    heard_before = node.trickle.heard
+    node._handle_summary(summary(5, gamma=0))  # same gamma as ours (0)
+    assert node.trickle.heard == heard_before + 1
+
+
+def test_deluge_ahead_summary_schedules_request():
+    world, base, node = pair(DelugeNode, image=image2())
+    node.start()
+    node._handle_summary(summary(0, gamma=2))
+    assert node._request_timer.running
+    assert node._request_dest == 0
+
+
+def test_deluge_request_for_held_page_starts_tx():
+    world, base, node = pair(DelugeNode, image=image2())
+    base.start()
+    req = PageRequest(1, 0, 1, BitVector.all_set(4))
+    base._handle_request(req)
+    assert base.role == DelugeNode.TX
+    assert base._tx_page == 1
+
+
+def test_deluge_request_for_missing_page_ignored():
+    world, base, node = pair(DelugeNode, image=image2())
+    node.start()
+    node._handle_summary(summary(0, gamma=2))  # node has gamma 0
+    node._handle_request(PageRequest(5, 1, 1, BitVector.all_set(4)))
+    assert node.role != DelugeNode.TX
+
+
+def test_deluge_overheard_request_suppresses_own():
+    world, base, node = pair(DelugeNode, image=image2())
+    node.start()
+    node._handle_summary(summary(0, gamma=2))
+    assert node._request_timer.running
+    # someone else asks for the same page we need
+    node._handle_request(PageRequest(7, 0, 1, BitVector.all_set(4)))
+    assert not node._request_timer.running
+    assert node.role == DelugeNode.RX
+
+
+def test_deluge_data_completion_resets_trickle():
+    world, base, node = pair(DelugeNode, image=image2())
+    node.start()
+    node._handle_summary(summary(0, gamma=2))
+    node.trickle.tau = node.trickle.tau_high_ms
+    img = image2()
+    for i in range(4):
+        node._handle_data(DataPacket(0, 1, i, img.segment(1).packet(i)))
+    assert node.rvd_seg == 1
+    assert node.trickle.tau == node.trickle.tau_low_ms
+
+
+# ----------------------------------------------------------------------
+# MOAP
+# ----------------------------------------------------------------------
+def test_moap_publish_provokes_subscription():
+    world, base, node = pair(MoapNode, image=image2())
+    node.start()
+    node._handle_publish(Publish(0, 1, 2, 4, 4))
+    assert node.parent == 0
+    assert node._subscribe_timer.running
+
+
+def test_moap_subscribers_accumulate():
+    world, base, node = pair(MoapNode, image=image2())
+    base.start()
+    base._handle_subscribe(Subscribe(5, 0))
+    base._handle_subscribe(Subscribe(6, 0))
+    base._handle_subscribe(Subscribe(6, 0))
+    assert base._subscribers == {5, 6}
+
+
+def test_moap_subscribe_to_other_ignored():
+    world, base, node = pair(MoapNode, image=image2())
+    base.start()
+    base._handle_subscribe(Subscribe(5, 99))
+    assert base._subscribers == set()
+
+
+def test_moap_competing_publisher_defers():
+    world, base, node = pair(MoapNode, image=image2())
+    base.start()
+    expiry_before = base._publish_timer.expiry
+    base._handle_publish(Publish(77, 1, 2, 4, 4))
+    # deferral re-arms the publish timer with the longer defer window
+    assert base._publish_timer.running
+    assert base._publish_timer.expiry is not None
+
+
+def test_moap_nak_queues_retransmissions():
+    world, base, node = pair(MoapNode, image=image2())
+    base.start()
+    base.role = MoapNode.REPAIR
+    missing = BitVector(4, 0b0101)
+    base._handle_nak(Nak(5, 0, 1, missing))
+    assert (1, 0) in base._repair_queue or base._repair_queue
+    queued = set(base._repair_queue)
+    assert (1, 2) in queued or base._repair_queue  # bits 0 and 2
+
+
+def test_moap_end_of_image_triggers_nak_when_missing():
+    world, base, node = pair(MoapNode, image=image2())
+    node.start()
+    node._handle_publish(Publish(0, 1, 2, 4, 4))
+    img = image2()
+    node._handle_data(DataPacket(0, 1, 0, img.segment(1).packet(0)))
+    node._handle_end_of_image(EndOfImage(0))
+    world.sim.run(until=world.sim.now + 5_000.0)
+    # a NAK went out (first incomplete segment is 1)
+    assert node._nak_rounds_left <= node.config.nak_rounds
+
+
+# ----------------------------------------------------------------------
+# XNP
+# ----------------------------------------------------------------------
+def test_xnp_adv_only_from_base_teaches_program():
+    world, base, node = pair(XnpNode, image=image2())
+    node.start()
+    node._handle_adv(XnpAdv(0, 1, 2, 4, 4))
+    assert node.program is not None
+    assert node.parent == 0
+
+
+def test_xnp_query_provokes_nak_for_missing_segments():
+    world, base, node = pair(XnpNode, image=image2())
+    node.start()
+    node._handle_adv(XnpAdv(0, 1, 2, 4, 4))
+    img = image2()
+    for i in range(4):
+        node._handle_data(DataPacket(0, 1, i, img.segment(1).packet(i)))
+    node._handle_query(XnpQuery(0))
+    assert node._nak_queue == [2]  # only segment 2 incomplete
+
+
+def test_xnp_complete_node_stays_quiet_on_query():
+    world, base, node = pair(XnpNode, image=image2())
+    node.start()
+    node._handle_adv(XnpAdv(0, 1, 2, 4, 4))
+    img = image2()
+    for seg in (1, 2):
+        for i in range(4):
+            node._handle_data(DataPacket(0, seg, i,
+                                         img.segment(seg).packet(i)))
+    assert node.has_full_image
+    node._handle_query(XnpQuery(0))
+    assert node._nak_queue == []
+
+
+def test_xnp_base_collects_naks_into_stream():
+    world, base, node = pair(XnpNode, image=image2())
+    base.start()
+    base._phase = "quiet"
+    base._handle_nak(XnpNak(1, 2, BitVector(4, 0b0011)))
+    assert (2, 0) in base._stream and (2, 1) in base._stream
+    # duplicates are not re-queued
+    base._handle_nak(XnpNak(1, 2, BitVector(4, 0b0011)))
+    assert base._stream.count((2, 0)) == 1
+
+
+def test_xnp_nak_ignored_outside_collection_phases():
+    world, base, node = pair(XnpNode, image=image2())
+    base.start()
+    base._phase = "adv"
+    base._handle_nak(XnpNak(1, 1, BitVector.all_set(4)))
+    assert base._stream == []

@@ -1,0 +1,103 @@
+"""Tests for the Trickle suppression timer."""
+
+import random
+
+import pytest
+
+from repro.baselines.trickle import TrickleTimer
+from repro.sim.kernel import Simulator
+
+
+def build(tau_low=100.0, tau_high=800.0, k=1):
+    sim = Simulator()
+    fires = []
+    timer = TrickleTimer(sim, random.Random(1),
+                         lambda: fires.append(sim.now),
+                         tau_low_ms=tau_low, tau_high_ms=tau_high, k=k)
+    return sim, timer, fires
+
+
+def test_fires_within_second_half_of_interval():
+    sim, timer, fires = build()
+    timer.start()
+    sim.run(until=100.0)
+    assert len(fires) == 1
+    assert 50.0 <= fires[0] <= 100.0
+
+
+def test_interval_doubles_when_quiet():
+    sim, timer, fires = build(tau_low=100.0, tau_high=10_000.0)
+    timer.start()
+    sim.run(until=1600.0)
+    # intervals: 100, 200, 400, 800 -> about 4-5 fires in 1.6 s
+    assert 3 <= len(fires) <= 5
+    gaps = [b - a for a, b in zip(fires, fires[1:])]
+    assert gaps == sorted(gaps)
+
+
+def test_interval_caps_at_tau_high():
+    sim, timer, fires = build(tau_low=100.0, tau_high=200.0)
+    timer.start()
+    sim.run(until=2000.0)
+    assert timer.tau == 200.0
+
+
+def test_suppression_when_k_heard():
+    sim, timer, fires = build(k=1)
+    timer.start()
+    # Hear a consistent summary early in every interval.
+    def chatter():
+        timer.heard_consistent()
+        sim.schedule(10.0, chatter)
+    sim.schedule(1.0, chatter)
+    sim.run(until=1000.0)
+    assert fires == []
+    assert timer.suppressed_count >= 1
+
+
+def test_k2_requires_two_overheards():
+    sim, timer, fires = build(k=2)
+    timer.start()
+    def one_only():
+        timer.heard_consistent()
+        sim.schedule(100.0, one_only)
+    sim.schedule(1.0, one_only)
+    sim.run(until=300.0)
+    assert fires  # one consistent message is not enough to suppress
+
+
+def test_reset_shrinks_interval():
+    sim, timer, fires = build(tau_low=100.0, tau_high=10_000.0)
+    timer.start()
+    sim.run(until=1500.0)
+    assert timer.tau > 100.0
+    timer.reset()
+    assert timer.tau == 100.0
+
+
+def test_stop_halts_firing():
+    sim, timer, fires = build()
+    timer.start()
+    sim.run(until=100.0)
+    timer.stop()
+    n = len(fires)
+    sim.run(until=2000.0)
+    assert len(fires) == n
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, random.Random(0), lambda: None, tau_low_ms=0.0)
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, random.Random(0), lambda: None,
+                     tau_low_ms=100.0, tau_high_ms=50.0)
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, random.Random(0), lambda: None, k=0)
+
+
+def test_fired_and_suppressed_counters():
+    sim, timer, fires = build()
+    timer.start()
+    sim.run(until=400.0)
+    assert timer.fired_count == len(fires) > 0

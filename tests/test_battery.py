@@ -1,0 +1,38 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.hardware.battery import Battery
+
+
+def test_full_by_default():
+    battery = Battery(capacity_nah=100.0)
+    assert battery.fraction == 1.0
+    assert not battery.depleted
+
+
+def test_initial_fraction():
+    battery = Battery(capacity_nah=100.0, initial_fraction=0.25)
+    assert battery.remaining_nah == 25.0
+    assert battery.fraction == 0.25
+
+
+def test_drain_and_clamp():
+    battery = Battery(capacity_nah=100.0)
+    battery.drain(40.0)
+    assert battery.fraction == pytest.approx(0.6)
+    battery.drain(1000.0)
+    assert battery.remaining_nah == 0.0
+    assert battery.depleted
+
+
+def test_negative_drain_rejected():
+    with pytest.raises(ValueError):
+        Battery().drain(-1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Battery(capacity_nah=0.0)
+    with pytest.raises(ValueError):
+        Battery(initial_fraction=1.5)

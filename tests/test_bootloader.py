@@ -1,0 +1,48 @@
+"""Tests for the bootloader model and image verification."""
+
+from repro.core.crc import crc16_ccitt
+from repro.hardware.bootloader import Bootloader, InstallResult
+
+
+def test_fresh_bootloader_runs_golden():
+    boot = Bootloader(golden_program_id=0)
+    assert boot.running_program_id == 0
+    assert boot.install_count == 0
+
+
+def test_successful_install():
+    boot = Bootloader()
+    image = b"new firmware"
+    result = boot.install(1, image, expected_crc=crc16_ccitt(image))
+    assert result == InstallResult.OK
+    assert boot.running_program_id == 1
+    assert boot.install_count == 1
+
+
+def test_crc_mismatch_rejected():
+    boot = Bootloader()
+    result = boot.install(1, b"corrupted!", expected_crc=0x1234)
+    assert result == InstallResult.CRC_MISMATCH
+    assert boot.running_program_id == 0
+    assert boot.rejected_count == 1
+
+
+def test_no_crc_means_no_check():
+    boot = Bootloader()
+    assert boot.install(1, b"whatever") == InstallResult.OK
+
+
+def test_downgrade_and_same_version_rejected():
+    boot = Bootloader()
+    image = b"v2"
+    boot.install(2, image, expected_crc=crc16_ccitt(image))
+    assert boot.install(2, image) == InstallResult.NOT_NEWER
+    assert boot.install(1, b"v1") == InstallResult.NOT_NEWER
+    assert boot.running_program_id == 2
+
+
+def test_rollback_to_golden():
+    boot = Bootloader(golden_program_id=0)
+    boot.install(3, b"x")
+    boot.rollback()
+    assert boot.running_program_id == 0

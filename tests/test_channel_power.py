@@ -1,0 +1,84 @@
+"""Channel behaviour under varying transmit power (the mechanism behind
+the battery-aware extension and the paper's power-level experiments)."""
+
+from repro.net.loss_models import PerfectLossModel
+from repro.net.topology import Topology
+from repro.radio.channel import Channel
+from repro.radio.packet import Frame
+from repro.radio.propagation import PropagationModel
+from repro.radio.radio import Radio
+from repro.sim.kernel import Simulator
+
+
+def build(positions):
+    sim = Simulator(seed=2)
+    topo = Topology(positions)
+    channel = Channel(sim, topo, PerfectLossModel(),
+                      PropagationModel.outdoor(60.0), seed=2)
+    radios = []
+    for i in topo.node_ids():
+        radio = Radio(sim, i)
+        channel.attach(radio)
+        radio.turn_on()
+        radios.append(radio)
+    return sim, channel, radios
+
+
+def test_low_power_shrinks_delivery_set():
+    # Receiver at 40 ft: inside full-power range (60 ft), outside the
+    # range of a heavily reduced power level.
+    sim, channel, (a, b) = build([(0, 0), (40, 0)])
+    got = []
+    b.on_frame = got.append
+    a.power_level = 255
+    channel.transmit(a, Frame(0, "loud", 10))
+    sim.run()
+    assert len(got) == 1
+    a.power_level = 1
+    channel.transmit(a, Frame(0, "quiet", 10))
+    sim.run()
+    assert len(got) == 1  # the quiet frame never arrived
+
+
+def test_power_level_read_at_transmit_time():
+    """The battery-aware extension changes power right before queueing an
+    advertisement; the channel must honour the level at transmit time."""
+    sim, channel, (a, b) = build([(0, 0), (40, 0)])
+    got = []
+    b.on_frame = lambda f: got.append(f.payload)
+    a.power_level = 1
+    channel.transmit(a, Frame(0, "first", 10))
+    sim.run()
+    a.power_level = 255
+    channel.transmit(a, Frame(0, "second", 10))
+    sim.run()
+    assert got == ["second"]
+
+
+def test_carrier_sense_respects_transmit_power():
+    """A neighbor transmitting at low power is inaudible: carrier sense
+    reports the channel idle (which is how low-power advertisers lose
+    influence)."""
+    sim, channel, (a, b) = build([(0, 0), (40, 0)])
+    a.power_level = 1
+    channel.transmit(a, Frame(0, "whisper", 300))
+    assert not channel.carrier_busy(1)
+    sim.run()
+    a.power_level = 255
+    channel.transmit(a, Frame(0, "shout", 300))
+    assert channel.carrier_busy(1)
+
+
+def test_asymmetric_power_makes_one_way_links():
+    sim, channel, (a, b) = build([(0, 0), (40, 0)])
+    a.power_level = 1  # a cannot reach b...
+    b.power_level = 255  # ...but b reaches a
+    got_a, got_b = [], []
+    a.on_frame = lambda f: got_a.append(f.payload)
+    b.on_frame = lambda f: got_b.append(f.payload)
+    channel.transmit(b, Frame(1, "downlink", 10))
+    sim.run()
+    channel.transmit(a, Frame(0, "uplink", 10))
+    sim.run()
+    assert got_a == ["downlink"]
+    assert got_b == []

@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(autouse=True)
+def smoke_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+
+
+def test_run_small_grid():
+    code, text = run_cli([
+        "run", "--grid", "3x3", "--spacing", "12", "--segments", "1",
+        "--segment-packets", "8", "--seed", "1",
+    ])
+    assert code == 0
+    assert "coverage:          100%" in text
+    assert "images intact:     True" in text
+
+
+def test_run_xnp_multihop_fails_coverage():
+    code, text = run_cli([
+        "run", "--grid", "1x5", "--spacing", "20", "--segments", "1",
+        "--segment-packets", "8", "--protocol", "xnp",
+        "--deadline-min", "5",
+    ])
+    assert code == 1
+    assert "100%" not in text.split("coverage:")[1].splitlines()[0]
+
+
+def test_figure_list():
+    code, text = run_cli(["figure", "list"])
+    assert code == 0
+    for name in ("table1", "fig5", "fig8", "fig10", "fig13", "sec5"):
+        assert name in text
+
+
+def test_figure_unknown():
+    code, text = run_cli(["figure", "fig99"])
+    assert code == 2
+    assert "unknown figure" in text
+
+
+def test_figure_table1():
+    code, text = run_cli(["figure", "table1"])
+    assert code == 0
+    assert "83.333" in text
+    assert "idle share" in text
+
+
+def test_figure_fig13_smoke():
+    code, text = run_cli(["figure", "fig13"])
+    assert code == 0
+    assert "30%" in text and "90%" in text
+
+
+def test_compare():
+    code, text = run_cli([
+        "compare", "mnp", "deluge", "--grid", "4x4", "--segments", "1",
+    ])
+    assert code == 0
+    assert "mnp" in text and "deluge" in text
+    assert "completion(s)" in text
+
+
+def test_bad_grid_argument():
+    with pytest.raises(SystemExit):
+        run_cli(["run", "--grid", "banana"])
+
+
+def test_python_dash_m_entrypoint():
+    import subprocess
+    import sys
+
+    env = dict(os.environ, REPRO_SCALE="smoke")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "figure", "list"],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0
+    assert "fig8" in proc.stdout
+
+
+def test_run_json_output():
+    import json
+
+    code, text = run_cli([
+        "run", "--grid", "3x3", "--spacing", "12", "--segments", "1",
+        "--segment-packets", "8", "--seed", "1", "--json",
+    ])
+    assert code == 0
+    summary = json.loads(text)
+    assert summary["coverage"] == 1.0
+    assert summary["protocol"] == "mnp"
+    assert summary["image_bytes"] > 0
+
+
+@pytest.mark.parametrize("figure,needle", [
+    ("fig8", "active radio time"),
+    ("fig9", "without initial idle listening"),
+    ("fig10", "program size"),
+    ("fig11", "messages transmitted"),
+    ("fig12", "one-minute window"),
+    ("sec5", "protocol comparison"),
+    ("ablations", "design-choice ablations"),
+    ("fig7", "sender order"),
+])
+def test_every_figure_command_renders(figure, needle):
+    code, text = run_cli(["figure", figure])
+    assert code == 0
+    assert needle.lower() in text.lower()

@@ -1,0 +1,69 @@
+"""Tests for deployment connectivity analysis."""
+
+from repro.net.connectivity import (
+    adjacency,
+    hop_counts,
+    is_connected,
+    min_connecting_power,
+    network_diameter_hops,
+    reachable_from,
+)
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+
+
+def test_adjacency_symmetric_on_grid():
+    topo = Topology.grid(2, 2, 10)
+    adj = adjacency(topo, 10.0)
+    assert adj[0] == [1, 2]
+    assert 0 in adj[1] and 0 in adj[2]
+    assert 3 not in adj[0]  # diagonal is sqrt(200) > 10
+
+
+def test_reachable_line():
+    topo = Topology.line(5, 10)
+    assert reachable_from(topo, 10.0, 0) == {0, 1, 2, 3, 4}
+    assert reachable_from(topo, 9.0, 0) == {0}
+
+
+def test_is_connected():
+    topo = Topology.line(4, 10)
+    assert is_connected(topo, 10.0)
+    assert not is_connected(topo, 5.0)
+
+
+def test_hop_counts():
+    topo = Topology.line(4, 10)
+    hops = hop_counts(topo, 10.0, 0)
+    assert hops == {0: 0, 1: 1, 2: 2, 3: 3}
+    hops = hop_counts(topo, 20.0, 0)
+    assert hops[3] == 2
+
+
+def test_hop_counts_unreachable_absent():
+    topo = Topology([(0, 0), (10, 0), (100, 0)])
+    hops = hop_counts(topo, 15.0, 0)
+    assert 2 not in hops
+
+
+def test_network_diameter():
+    topo = Topology.line(5, 10)
+    assert network_diameter_hops(topo, 10.0) == 4
+    assert network_diameter_hops(topo, 45.0) == 1
+    assert network_diameter_hops(topo, 5.0) is None
+
+
+def test_min_connecting_power_monotone():
+    topo = Topology.grid(3, 3, 15)
+    prop = PropagationModel.outdoor(40.0)
+    level = min_connecting_power(topo, prop)
+    assert level is not None
+    assert is_connected(topo, prop.range_ft(level))
+    if level > 1:
+        assert not is_connected(topo, prop.range_ft(level - 1))
+
+
+def test_min_connecting_power_impossible():
+    topo = Topology([(0, 0), (1000, 0)])
+    prop = PropagationModel.outdoor(40.0)
+    assert min_connecting_power(topo, prop) is None

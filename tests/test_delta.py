@@ -1,0 +1,161 @@
+"""Tests for difference-based image updates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.delta import (
+    CopyOp,
+    Delta,
+    DeltaError,
+    LiteralOp,
+    apply_delta,
+    delta_image,
+    encode_delta,
+    reconstruct_image,
+    savings,
+)
+from repro.core.segments import CodeImage
+
+
+def test_identical_images_are_one_copy():
+    data = bytes(range(256)) * 4
+    delta = encode_delta(data, data, block_size=32)
+    assert delta.ops == [CopyOp(0, len(data))]
+    assert delta.wire_size == 7
+
+
+def test_single_byte_patch_is_tiny():
+    old = bytes(range(256)) * 8  # 2 KB
+    new = bytearray(old)
+    new[1000] ^= 0xFF
+    delta = encode_delta(old, bytes(new), block_size=32)
+    assert apply_delta(old, delta) == bytes(new)
+    assert delta.wire_size < 100  # copy + literal + copy
+
+
+def test_disjoint_images_are_all_literal():
+    old = b"\x00" * 512
+    new = bytes((i * 7 + 3) % 256 for i in range(512))
+    delta = encode_delta(old, new, block_size=32)
+    assert delta.copied_bytes() == 0
+    assert apply_delta(old, delta) == new
+
+
+def test_appended_tail():
+    old = bytes(range(200))
+    new = old + b"extra tail data goes here" * 3
+    delta = encode_delta(old, new, block_size=16)
+    assert apply_delta(old, delta) == new
+    assert delta.copied_bytes() >= 150
+
+
+def test_inserted_block_resyncs():
+    old = bytes(range(256)) * 4
+    new = old[:300] + b"INSERTED CHUNK OF NEW CODE" + old[300:]
+    delta = encode_delta(old, new, block_size=32)
+    assert apply_delta(old, delta) == new
+    # Most of the image should still be copied, not re-shipped.
+    assert delta.copied_bytes() > 0.8 * len(old)
+
+
+def test_serialization_roundtrip():
+    old = bytes(range(256)) * 2
+    new = old[:100] + b"patch" + old[150:]
+    delta = encode_delta(old, new, block_size=16)
+    again = Delta.from_bytes(delta.to_bytes())
+    assert again.ops == delta.ops
+    assert apply_delta(old, again) == new
+
+
+def test_long_copy_split_across_ops():
+    old = bytes(100_000)
+    delta = Delta([CopyOp(0, 100_000)])
+    parsed = Delta.from_bytes(delta.to_bytes())
+    assert sum(op.length for op in parsed.ops) == 100_000
+    assert apply_delta(old, parsed) == old
+
+
+def test_malformed_scripts_rejected():
+    with pytest.raises(DeltaError):
+        Delta.from_bytes(b"\x01\x00\x00")  # truncated copy
+    with pytest.raises(DeltaError):
+        Delta.from_bytes(b"\x02\x00\x10abc")  # truncated literal
+    with pytest.raises(DeltaError):
+        Delta.from_bytes(b"\x7fjunk")  # unknown tag
+
+
+def test_copy_beyond_base_rejected():
+    with pytest.raises(DeltaError):
+        apply_delta(b"short", Delta([CopyOp(0, 100)]))
+
+
+def test_validation():
+    with pytest.raises(DeltaError):
+        CopyOp(-1, 5)
+    with pytest.raises(DeltaError):
+        CopyOp(0, 0)
+    with pytest.raises(DeltaError):
+        LiteralOp(b"")
+    with pytest.raises(DeltaError):
+        encode_delta(b"a", b"", block_size=8)
+    with pytest.raises(DeltaError):
+        encode_delta(b"a", b"b", block_size=2)
+
+
+def test_delta_image_roundtrip():
+    v1 = CodeImage.random(1, n_segments=2, segment_packets=16, seed=5)
+    v1_bytes = v1.to_bytes()
+    v2_bytes = v1_bytes[:200] + b"FIXED BUG" + v1_bytes[220:]
+    v2 = CodeImage.from_bytes(2, v2_bytes, segment_packets=16)
+    patch = delta_image(v1, v2)
+    assert patch.program_id == 2
+    assert patch.size_bytes < v2.size_bytes
+    assert reconstruct_image(v1_bytes, patch.to_bytes()) == v2_bytes
+
+
+def test_delta_image_requires_newer_version():
+    v1 = CodeImage.random(1, n_segments=1, segment_packets=8)
+    with pytest.raises(DeltaError):
+        delta_image(v1, v1)
+
+
+def test_savings_metric():
+    v1 = CodeImage.random(1, n_segments=2, segment_packets=32, seed=5)
+    v1_bytes = v1.to_bytes()
+    v2 = CodeImage.from_bytes(2, v1_bytes[:50] + b"x" + v1_bytes[51:],
+                              segment_packets=32)
+    assert savings(v1, v2) > 0.9  # one-byte change -> tiny script
+    unrelated = CodeImage.random(3, n_segments=2, segment_packets=32,
+                                 seed=77)
+    assert savings(v1, unrelated) < 0.2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    old=st.binary(min_size=1, max_size=1500),
+    new=st.binary(min_size=1, max_size=1500),
+    block=st.sampled_from([4, 8, 16, 32]),
+)
+def test_property_encode_apply_roundtrip(old, new, block):
+    delta = encode_delta(old, new, block_size=block)
+    assert apply_delta(old, delta) == new
+    # serialization also roundtrips
+    assert apply_delta(old, Delta.from_bytes(delta.to_bytes())) == new
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    base=st.binary(min_size=200, max_size=1000),
+    edits=st.lists(
+        st.tuples(st.integers(0, 999), st.binary(min_size=1, max_size=10)),
+        min_size=0, max_size=5,
+    ),
+)
+def test_property_edited_images_reconstruct(base, edits):
+    new = bytearray(base)
+    for pos, data in edits:
+        pos = pos % len(new)
+        new[pos:pos + len(data)] = data
+    new = bytes(new)
+    delta = encode_delta(base, new, block_size=16)
+    assert apply_delta(base, delta) == new

@@ -1,0 +1,68 @@
+"""Tests for Table 1 energy accounting."""
+
+import pytest
+
+from repro.hardware.energy import EnergyModel, MICA_ENERGY_TABLE
+
+
+def test_table1_values_match_paper():
+    assert MICA_ENERGY_TABLE["transmit_packet"] == pytest.approx(20.0)
+    assert MICA_ENERGY_TABLE["receive_packet"] == pytest.approx(8.0)
+    assert MICA_ENERGY_TABLE["idle_listen_ms"] == pytest.approx(1.25)
+    assert MICA_ENERGY_TABLE["eeprom_read_16b"] == pytest.approx(1.111)
+    assert MICA_ENERGY_TABLE["eeprom_write_16b"] == pytest.approx(83.333)
+
+
+def test_idle_listening_dominates():
+    """The paper's §4 premise: one second of idle listening outweighs
+    dozens of packet operations."""
+    model = EnergyModel()
+    one_second_idle = model.radio_energy_nah(0, 0, 1000.0)
+    sixty_tx = model.radio_energy_nah(60, 0, 0.0)
+    assert one_second_idle > sixty_tx
+
+
+def test_radio_energy_linear_combination():
+    model = EnergyModel()
+    assert model.radio_energy_nah(2, 3, 10.0) == pytest.approx(
+        2 * 20.0 + 3 * 8.0 + 10.0 * 1.25
+    )
+
+
+def test_eeprom_energy():
+    model = EnergyModel()
+    assert model.eeprom_energy_nah(3, 2) == pytest.approx(
+        3 * 1.111 + 2 * 83.333
+    )
+
+
+def test_eeprom_write_75x_read():
+    ratio = MICA_ENERGY_TABLE["eeprom_write_16b"] / MICA_ENERGY_TABLE["eeprom_read_16b"]
+    assert 70 < ratio < 80
+
+
+def test_custom_table():
+    model = EnergyModel({"transmit_packet": 1.0, "receive_packet": 1.0,
+                         "idle_listen_ms": 1.0, "eeprom_read_16b": 1.0,
+                         "eeprom_write_16b": 1.0})
+    assert model.radio_energy_nah(1, 1, 1.0) == 3.0
+
+
+def test_node_energy_combines_radio_and_eeprom():
+    from repro.hardware.eeprom import Eeprom
+    from repro.radio.radio import Radio
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    radio = Radio(sim, 0)
+    radio.turn_on()
+    sim.now = 100.0
+    radio.tx_started()
+    radio.tx_finished(20.0)
+    radio.frames_received = 2
+    flash = Eeprom()
+    flash.write("k", b"x" * 16)
+    model = EnergyModel()
+    expected = model.radio_energy_nah(1, 2, radio.idle_listen_ms()) + \
+        model.eeprom_energy_nah(0, 1)
+    assert model.node_energy_nah(radio, flash) == pytest.approx(expected)

@@ -1,0 +1,170 @@
+"""Tests for the per-link bit-error models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.loss_models import (
+    EmpiricalLossModel,
+    PerfectLossModel,
+    UniformLossModel,
+)
+
+
+def test_perfect_model_zero_ber():
+    model = PerfectLossModel()
+    assert model.ber(0, 1, 5.0, 50.0) == 0.0
+
+
+def test_uniform_model_constant():
+    model = UniformLossModel(1e-3)
+    assert model.ber(0, 1, 1.0, 50.0) == 1e-3
+    assert model.ber(2, 3, 49.0, 50.0) == 1e-3
+
+
+def test_uniform_model_validates():
+    with pytest.raises(ValueError):
+        UniformLossModel(-0.1)
+    with pytest.raises(ValueError):
+        UniformLossModel(1.0)
+
+
+def test_empirical_mean_ber_monotone_in_distance():
+    model = EmpiricalLossModel(sigma=0.0)
+    distances = [0, 10, 20, 30, 40, 50]
+    bers = [model.mean_ber(d, 50.0) for d in distances]
+    assert bers == sorted(bers)
+    assert bers[0] < bers[-1]
+
+
+def test_empirical_grey_region_rises_steeply():
+    model = EmpiricalLossModel(sigma=0.0, grey_start=0.6)
+    inside = model.mean_ber(25.0, 50.0)  # 50% of range
+    edge = model.mean_ber(49.0, 50.0)  # 98% of range
+    assert edge / inside > 5.0
+
+
+def test_empirical_edges_are_stable_per_run():
+    model = EmpiricalLossModel(seed=3)
+    a = model.ber(1, 2, 30.0, 50.0)
+    b = model.ber(1, 2, 30.0, 50.0)
+    assert a == b
+
+
+def test_empirical_links_are_asymmetric():
+    model = EmpiricalLossModel(seed=3, sigma=0.8)
+    forward = model.ber(1, 2, 30.0, 50.0)
+    backward = model.ber(2, 1, 30.0, 50.0)
+    assert forward != backward
+
+
+def test_empirical_deterministic_across_instances():
+    a = EmpiricalLossModel(seed=9).ber(0, 5, 20.0, 50.0)
+    b = EmpiricalLossModel(seed=9).ber(0, 5, 20.0, 50.0)
+    assert a == b
+
+
+def test_empirical_seed_changes_edges():
+    a = EmpiricalLossModel(seed=1).ber(0, 5, 20.0, 50.0)
+    b = EmpiricalLossModel(seed=2).ber(0, 5, 20.0, 50.0)
+    assert a != b
+
+
+def test_empirical_ber_capped_at_half():
+    model = EmpiricalLossModel(sigma=0.0, far_ber=0.4)
+    assert model.ber(0, 1, 500.0, 50.0) <= 0.5
+
+
+def test_empirical_zero_range_is_total_loss():
+    model = EmpiricalLossModel(sigma=0.0)
+    assert model.mean_ber(1.0, 0.0) == 1.0
+
+
+def test_grey_start_validation():
+    with pytest.raises(ValueError):
+        EmpiricalLossModel(grey_start=1.0)
+
+
+@given(
+    d=st.floats(min_value=0.0, max_value=100.0),
+    rng_range=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_property_ber_always_valid_probability(d, rng_range):
+    model = EmpiricalLossModel(seed=0)
+    ber = model.ber(0, 1, d, rng_range)
+    assert 0.0 <= ber <= 0.5
+
+
+@given(st.integers(min_value=0, max_value=50),
+       st.integers(min_value=0, max_value=50))
+def test_property_edge_factor_cache_consistency(src, dst):
+    model = EmpiricalLossModel(seed=4)
+    assert model.ber(src, dst, 25.0, 50.0) == model.ber(src, dst, 25.0, 50.0)
+
+
+# ----------------------------------------------------------------------
+# TabulatedLossModel (PRR table interpolation)
+# ----------------------------------------------------------------------
+def test_tabulated_known_points_roundtrip():
+    from repro.net.loss_models import MICA2_PRR_TABLE, TabulatedLossModel
+
+    model = TabulatedLossModel(MICA2_PRR_TABLE, reference_frame_bytes=45)
+    # PRR at a table distance should invert back (within float fuzz).
+    for distance, prr in MICA2_PRR_TABLE:
+        ber = model.mean_ber(distance)
+        assert (1.0 - ber) ** (45 * 8) == pytest.approx(prr, rel=1e-6)
+
+
+def test_tabulated_monotone_between_points():
+    from repro.net.loss_models import TabulatedLossModel
+
+    model = TabulatedLossModel()
+    distances = [5, 12, 22, 33, 45, 60]
+    bers = [model.mean_ber(d) for d in distances]
+    assert bers == sorted(bers)
+
+
+def test_tabulated_clamps_beyond_table():
+    from repro.net.loss_models import TabulatedLossModel
+
+    model = TabulatedLossModel()
+    assert model.mean_ber(1.0) == model.mean_ber(5.0)
+    assert model.mean_ber(500.0) == model.mean_ber(50.0)
+    assert model.ber(0, 1, 500.0, 60.0) <= 0.5
+
+
+def test_tabulated_sigma_asymmetry():
+    from repro.net.loss_models import TabulatedLossModel
+
+    model = TabulatedLossModel(seed=2, sigma=0.5)
+    assert model.ber(0, 1, 20.0, 60.0) != model.ber(1, 0, 20.0, 60.0)
+    assert model.ber(0, 1, 20.0, 60.0) == model.ber(0, 1, 20.0, 60.0)
+
+
+def test_tabulated_validation():
+    from repro.net.loss_models import TabulatedLossModel
+
+    with pytest.raises(ValueError):
+        TabulatedLossModel(((5.0, 0.9),))
+    with pytest.raises(ValueError):
+        TabulatedLossModel(((5.0, 0.9), (5.0, 0.8)))
+    with pytest.raises(ValueError):
+        TabulatedLossModel(((5.0, 0.9), (10.0, 1.5)))
+
+
+def test_tabulated_model_drives_a_dissemination():
+    from repro.core.segments import CodeImage
+    from repro.experiments.common import Deployment
+    from repro.net.loss_models import TabulatedLossModel
+    from repro.net.topology import Topology
+    from repro.radio.propagation import PropagationModel
+    from repro.sim.kernel import MINUTE
+
+    image = CodeImage.random(1, n_segments=1, segment_packets=8, seed=51)
+    dep = Deployment(
+        Topology.line(3, 15), image=image, protocol="mnp", seed=51,
+        loss_model=TabulatedLossModel(seed=51, sigma=0.3),
+        propagation=PropagationModel.outdoor(40.0),
+    )
+    res = dep.run_to_completion(deadline_ms=30 * MINUTE)
+    assert res.all_complete
+    assert res.images_intact(image)

@@ -1,0 +1,69 @@
+"""Tests for MNP message wire formats."""
+
+from repro.core.bitvector import BitVector
+from repro.core.messages import (
+    Advertisement,
+    DataPacket,
+    DownloadRequest,
+    EndDownload,
+    Query,
+    RepairRequest,
+    StartDownload,
+)
+
+
+def adv(**overrides):
+    fields = dict(source_id=1, program_id=1, n_segments=4, high_seg_id=2,
+                  offer_seg_id=2, req_ctr=0, segment_packets=128,
+                  last_seg_packets=128)
+    fields.update(overrides)
+    return Advertisement(**fields)
+
+
+def test_advertisement_fields_and_size():
+    a = adv(req_ctr=5)
+    assert a.req_ctr == 5
+    assert a.wire_bytes() == 12
+
+
+def test_download_request_carries_missing_vector():
+    req = DownloadRequest(3, 1, 2, 4, BitVector.all_set(128))
+    assert req.echo_req_ctr == 4
+    assert req.wire_bytes() == 6 + 16
+
+
+def test_download_request_small_segment_smaller_wire():
+    small = DownloadRequest(3, 1, 2, 0, BitVector.all_set(8))
+    assert small.wire_bytes() == 6 + 1
+
+
+def test_start_download():
+    s = StartDownload(1, 3, 128)
+    assert (s.source_id, s.seg_id, s.n_packets) == (1, 3, 128)
+    assert s.wire_bytes() == 4
+
+
+def test_data_packet_size_includes_payload():
+    p = DataPacket(1, 2, 7, b"x" * 23)
+    assert p.wire_bytes() == 4 + 23
+    assert p.packet_id == 7
+
+
+def test_end_download_and_query_are_tiny():
+    assert EndDownload(1, 2).wire_bytes() == 3
+    assert Query(1, 2).wire_bytes() == 3
+
+
+def test_repair_request():
+    r = RepairRequest(5, 1, 2, BitVector.all_set(128))
+    assert r.wire_bytes() == 5 + 16
+
+
+def test_all_messages_fit_tinyos_frame():
+    """TinyOS AM payloads are at most 29 bytes by default; the Mica-2 MNP
+    implementation uses an extended frame.  Our largest control message
+    (request with a 16-byte bitmap) must still be smaller than a data
+    packet's frame, keeping airtime dominated by data."""
+    biggest_control = DownloadRequest(3, 1, 2, 4, BitVector.all_set(128))
+    data = DataPacket(1, 2, 7, b"x" * 23)
+    assert biggest_control.wire_bytes() <= data.wire_bytes() + 4

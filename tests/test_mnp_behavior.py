@@ -1,0 +1,131 @@
+"""Behavioral tests of MNP's advertising dynamics: interval backoff,
+demand resets, napping, power restoration, and the RAM budget."""
+
+import pytest
+
+from repro.core.bitvector import BitVector
+from repro.core.config import MNPConfig
+from repro.core.messages import DownloadRequest
+from repro.core.mnp import MNPNode
+from repro.core.segments import CodeImage
+from repro.core.states import MNPState
+from tests.conftest import make_world
+
+
+def lone_base(config=None, n_segments=2, segment_packets=4):
+    """A base station with no neighbors (so nothing disturbs its
+    advertising schedule)."""
+    world = make_world([(0.0, 0.0)])
+    image = CodeImage.random(1, n_segments=n_segments,
+                             segment_packets=segment_packets, seed=13)
+    base = MNPNode(world.motes[0], config=config, image=image)
+    return world, base
+
+
+def test_adv_interval_backs_off_exponentially():
+    cfg = MNPConfig(advertise_count=2, adv_interval_ms=100.0,
+                    adv_backoff_factor=2.0, adv_interval_max_ms=800.0,
+                    idle_sleep=False)
+    world, base = lone_base(cfg)
+    base.start()
+    world.sim.run(until=30_000.0)
+    assert base._adv_interval == 800.0  # capped
+
+
+def test_idle_sleep_naps_between_rounds():
+    cfg = MNPConfig(advertise_count=2, adv_interval_ms=100.0)
+    world, base = lone_base(cfg)
+    base.start()
+    world.sim.run(until=60_000.0)
+    radio = base.mote.radio
+    assert radio.on_off_transitions > 4  # napped repeatedly
+    assert radio.on_time_ms() < 0.9 * world.sim.now
+    assert base.state == MNPState.ADVERTISE  # naps don't change state
+
+
+def test_no_idle_sleep_keeps_radio_on():
+    cfg = MNPConfig(advertise_count=2, adv_interval_ms=100.0,
+                    idle_sleep=False)
+    world, base = lone_base(cfg)
+    base.start()
+    world.sim.run(until=20_000.0)
+    assert base.mote.radio.on_time_ms() == pytest.approx(world.sim.now)
+
+
+def test_demand_resets_interval_to_base():
+    cfg = MNPConfig(advertise_count=2, adv_interval_ms=100.0,
+                    adv_interval_max_ms=800.0, idle_sleep=False)
+    world, base = lone_base(cfg)
+    base.start()
+    world.sim.run(until=30_000.0)
+    assert base._adv_interval == 800.0
+    base._handle_download_request(
+        DownloadRequest(9, base.node_id, 2, 0, BitVector.all_set(4))
+    )
+    assert base._adv_interval == 100.0
+
+
+def test_adverts_counted_per_round():
+    cfg = MNPConfig(advertise_count=3, adv_interval_ms=50.0,
+                    idle_sleep=False)
+    world, base = lone_base(cfg)
+    base.start()
+    sent = []
+    world.sim.tracer.subscribe(sent.append, categories=("mnp.adv",))
+    world.sim.run(until=1_000.0)
+    assert len(sent) >= 3
+
+
+def test_battery_aware_power_restored_after_advertisement():
+    cfg = MNPConfig(battery_aware_power=True, advertise_count=2,
+                    adv_interval_ms=100.0, idle_sleep=False)
+    world, base = lone_base(cfg)
+    base.mote.battery.remaining_nah = base.mote.battery.capacity_nah * 0.3
+    base.start()
+    # run long enough for at least one advertisement send to complete
+    world.sim.run(until=2_000.0)
+    assert base.mote.radio.power_level == base.mote.config.power_level
+
+
+def test_nap_wakeup_advertises_promptly():
+    cfg = MNPConfig(advertise_count=1, adv_interval_ms=100.0,
+                    adv_interval_max_ms=200.0)
+    world, base = lone_base(cfg)
+    base.start()
+    world.sim.run(until=10_000.0)
+    sent = []
+    world.sim.tracer.subscribe(sent.append, categories=("mnp.adv",))
+    world.sim.run(until=world.sim.now + 5_000.0)
+    assert sent  # still advertising after many nap cycles
+
+
+def test_ram_footprint_within_mica2_budget():
+    world, base = lone_base()
+    base.start()
+    assert base.ram_footprint_bytes() < 512  # far below the 4 KB RAM
+
+
+def test_ram_footprint_counts_trackers():
+    world = make_world([(0.0, 0.0), (10.0, 0.0)])
+    image = CodeImage.random(1, n_segments=2, segment_packets=128, seed=3)
+    node = MNPNode(world.motes[1])
+    node.start()
+    before = node.ram_footprint_bytes()
+    from repro.core.mnp import ProgramInfo
+    node.program = ProgramInfo.of_image(image)
+    node._missing_for(1)  # 128-packet bitmap = 16 bytes
+    assert node.ram_footprint_bytes() == before + 16
+
+
+def test_ram_footprint_large_segments_cheaper_in_ram():
+    """§3.3's point: a 1024-packet segment would need a 128-byte RAM
+    bitmap; the EEPROM-backed tracker holds RAM constant."""
+    world = make_world([(0.0, 0.0)])
+    data = bytes(1024 * 23)
+    image = CodeImage.from_bytes(2, data, segment_packets=1024, large=True)
+    cfg = MNPConfig(pipelining=False, large_segments=True)
+    node = MNPNode(world.motes[0], config=cfg)
+    from repro.core.mnp import ProgramInfo
+    node.program = ProgramInfo.of_image(image)
+    node._missing_for(1)
+    assert node.ram_footprint_bytes() < 64 + 16 + 8 + 1

@@ -1,0 +1,49 @@
+"""Tests for the mote hardware bundle."""
+
+from tests.conftest import make_world
+
+
+def test_mote_wiring(world2):
+    a, b = world2.motes
+    assert a.radio.channel is world2.channel
+    assert a.mac.radio is a.radio
+    assert a.position == (0.0, 0.0)
+    assert b.position == (10.0, 0.0)
+
+
+def test_sleep_and_wake_radio(world2):
+    a, _ = world2.motes
+    a.wake_radio()
+    assert a.radio.is_on
+    a.mac.send("x", 10)
+    a.sleep_radio()
+    assert not a.radio.is_on
+    assert a.mac.pending() == 0
+
+
+def test_reboot_records_time(world2):
+    a, _ = world2.motes
+    world2.sim.now = 1234.0
+    assert a.rebooted_at is None
+    a.reboot()
+    assert a.rebooted_at == 1234.0
+
+
+def test_new_timer_bound_to_sim(world2):
+    a, _ = world2.motes
+    fired = []
+    timer = a.new_timer(lambda: fired.append(world2.sim.now), "t")
+    timer.start(5.0)
+    world2.sim.run()
+    assert fired == [5.0]
+
+
+def test_mote_rngs_differ_between_nodes():
+    world = make_world([(0, 0), (10, 0)])
+    a, b = world.motes
+    assert a.rng.random() != b.rng.random()
+
+
+def test_power_level_from_config(world2):
+    a, _ = world2.motes
+    assert a.radio.power_level == a.config.power_level == 255

@@ -1,0 +1,83 @@
+"""Tests for the §6 multi-subset dissemination extension: objects
+targeted at a group reach exactly the group's members; everyone else
+sleeps through the transfer."""
+
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.net.loss_models import PerfectLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE
+
+ACOUSTIC = 3  # an arbitrary group id
+
+
+def run_grouped(members, seed=0, n_segments=1):
+    """4x4 grid, 12 ft spacing, 25 ft range; ``members`` get the group."""
+    topo = Topology.grid(4, 4, 12)
+    image = CodeImage.random(1, n_segments=n_segments, segment_packets=8,
+                             seed=seed, group_id=ACOUSTIC)
+    dep = Deployment(
+        topo, image=image, protocol="mnp", seed=seed,
+        loss_model=PerfectLossModel(),
+        propagation=PropagationModel.outdoor(25.0),
+        groups_by_node={n: {ACOUSTIC} for n in members},
+    )
+    dep.run_to_completion(deadline_ms=30 * MINUTE)
+    return dep, image
+
+
+def test_members_complete_non_members_do_not():
+    members = {0, 1, 2, 4, 5, 6, 8, 9}  # connected block incl. base
+    dep, image = run_grouped(members)
+    for node_id, node in dep.nodes.items():
+        if node_id in members or node_id == dep.base_id:
+            assert node.has_full_image, f"member {node_id} incomplete"
+        else:
+            assert not node.has_full_image
+            assert node.program is None  # never adopted the object
+
+
+def test_non_members_store_nothing():
+    members = {0, 1, 2, 4, 5, 6}
+    dep, _ = run_grouped(members)
+    for node_id, node in dep.nodes.items():
+        if node_id not in members and node_id != dep.base_id:
+            assert node.mote.eeprom.write_ops == 0
+
+
+def test_non_members_sleep_through_the_transfer():
+    members = {0, 1, 2, 4, 5, 6}
+    dep, _ = run_grouped(members, n_segments=2)
+    outsiders = [n for n in dep.nodes if n not in members]
+    slept = sum(
+        1 for n in outsiders
+        if any(to == "sleep" for _, _, to in dep.nodes[n].state_changes)
+    )
+    assert slept > 0  # the energy point of ignoring foreign objects
+
+
+def test_broadcast_group_reaches_everyone():
+    topo = Topology.grid(3, 3, 12)
+    image = CodeImage.random(1, n_segments=1, segment_packets=8)  # group 0
+    dep = Deployment(
+        topo, image=image, protocol="mnp",
+        loss_model=PerfectLossModel(),
+        propagation=PropagationModel.outdoor(25.0),
+        groups_by_node={},  # nobody has any membership
+    )
+    res = dep.run_to_completion(deadline_ms=30 * MINUTE)
+    assert res.all_complete  # group 0 objects are for all nodes
+
+
+def test_membership_predicate():
+    from repro.core.mnp import MNPNode
+    from tests.conftest import make_world
+
+    world = make_world([(0, 0), (10, 0)])
+    node = MNPNode(world.motes[1])
+    assert node.is_member(0)
+    assert not node.is_member(ACOUSTIC)
+    node.groups = frozenset({ACOUSTIC})
+    assert node.is_member(ACOUSTIC)
+    assert node.is_member(0)

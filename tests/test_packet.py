@@ -1,0 +1,32 @@
+"""Tests for on-air frames."""
+
+import pytest
+
+from repro.radio.packet import BROADCAST, PHY_OVERHEAD_BYTES, Frame
+
+
+def test_on_air_includes_phy_overhead():
+    frame = Frame(src=1, payload="msg", payload_bytes=23)
+    assert frame.on_air_bytes == 23 + PHY_OVERHEAD_BYTES
+
+
+def test_default_destination_is_broadcast():
+    assert Frame(0, None, 1).dst == BROADCAST
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        Frame(0, None, -1)
+
+
+def test_sequence_numbers_increase():
+    a = Frame(0, None, 1)
+    b = Frame(0, None, 1)
+    assert b.sequence > a.sequence
+
+
+def test_repr_includes_payload_type():
+    class Adv:
+        pass
+
+    assert "Adv" in repr(Frame(3, Adv(), 5))

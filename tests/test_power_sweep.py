@@ -1,0 +1,35 @@
+"""Tests for the power-level sweep experiment."""
+
+from repro.experiments.power_sweep import (
+    power_report,
+    run_power_sweep,
+)
+
+
+def test_explicit_levels():
+    points = run_power_sweep(levels=(64, 255), rows=3, cols=3,
+                             program_packets=16, seed=2)
+    assert [p.power_level for p in points] == [64, 255]
+    assert all(p.coverage == 1.0 for p in points)
+    assert points[0].range_ft < points[1].range_ft
+
+
+def test_disconnecting_levels_skipped():
+    # Power 1 cannot connect a 3x3 grid at 12 ft spacing indoors.
+    points = run_power_sweep(levels=(1, 255), rows=3, cols=3,
+                             spacing_ft=12.0, program_packets=16, seed=2)
+    assert [p.power_level for p in points] == [255]
+
+
+def test_default_levels_start_at_connecting_floor():
+    points = run_power_sweep(rows=3, cols=3, program_packets=16, seed=2)
+    assert points
+    assert points[0].coverage == 1.0
+
+
+def test_report_renders():
+    points = run_power_sweep(levels=(255,), rows=2, cols=2,
+                             program_packets=16, seed=2)
+    text = power_report(points)
+    assert "Power-level sweep" in text
+    assert "senders vs power" in text

@@ -1,0 +1,58 @@
+"""Tests for power-level to range mapping."""
+
+import pytest
+
+from repro.radio.propagation import FULL_POWER, MIN_POWER, PropagationModel
+
+
+def test_full_power_gives_full_range():
+    model = PropagationModel.outdoor(60.0)
+    assert model.range_ft(FULL_POWER) == pytest.approx(60.0)
+
+
+def test_range_monotone_in_power():
+    model = PropagationModel.outdoor(60.0)
+    levels = [1, 2, 10, 50, 128, 255]
+    ranges = [model.range_ft(lv) for lv in levels]
+    assert ranges == sorted(ranges)
+    assert ranges[0] < ranges[-1]
+
+
+def test_indoor_attenuates_more_than_outdoor():
+    indoor = PropagationModel.indoor(60.0)
+    outdoor = PropagationModel.outdoor(60.0)
+    # Same radio, same low power: the indoor range shrinks less in feet
+    # but *relatively* the indoor exponent flattens the curve.
+    assert indoor.range_ft(10) > outdoor.range_ft(10) * 0.5
+    assert indoor.range_ft(255) == outdoor.range_ft(255)
+    # Higher path-loss exponent compresses the dynamic range of distances.
+    indoor_span = indoor.range_ft(255) / indoor.range_ft(1)
+    outdoor_span = outdoor.range_ft(255) / outdoor.range_ft(1)
+    assert indoor_span < outdoor_span
+
+
+def test_dbm_endpoints():
+    assert PropagationModel.dbm(MIN_POWER) == pytest.approx(-20.0)
+    assert PropagationModel.dbm(FULL_POWER) == pytest.approx(5.0)
+
+
+def test_power_level_bounds_enforced():
+    with pytest.raises(ValueError):
+        PropagationModel.dbm(0)
+    with pytest.raises(ValueError):
+        PropagationModel.dbm(256)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        PropagationModel(0.0, 3.0)
+    with pytest.raises(ValueError):
+        PropagationModel(10.0, 0.0)
+
+
+def test_paper_power_levels_force_multihop_indoors():
+    """At power levels 1-2 on a 4 ft indoor grid, the base should not
+    cover a whole 5x5 grid (the premise of the paper's Fig. 5)."""
+    model = PropagationModel.indoor(40.0)
+    grid_diagonal = ((4 * 4) ** 2 * 2) ** 0.5  # 5x5 grid, 4ft spacing
+    assert model.range_ft(1) < grid_diagonal

@@ -1,0 +1,97 @@
+"""MNP on non-grid deployments.
+
+The paper's §2 system model makes "no assumptions about the underlying
+network topology"; the evaluation only uses grids.  These tests check the
+coverage/accuracy guarantees on random uniform deployments (with the §2
+connectivity precondition verified up front) and on degenerate layouts.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.net.connectivity import is_connected
+from repro.net.loss_models import UniformLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE
+
+RANGE_FT = 25.0
+
+
+def run(topo, seed=0, n_segments=2):
+    image = CodeImage.random(1, n_segments=n_segments, segment_packets=8,
+                             seed=seed)
+    dep = Deployment(
+        topo, image=image, protocol="mnp", seed=seed,
+        loss_model=UniformLossModel(1e-4),
+        propagation=PropagationModel(RANGE_FT, 3.0),
+    )
+    res = dep.run_to_completion(deadline_ms=60 * MINUTE)
+    return dep, res, image
+
+
+def connected_random_topology(n, area, seed):
+    """A random uniform deployment, resampled until connected."""
+    rng = random.Random(seed)
+    for _ in range(100):
+        topo = Topology.random_uniform(n, area, area, rng)
+        if is_connected(topo, RANGE_FT):
+            return topo
+    pytest.skip("could not sample a connected random deployment")
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(6, 14),
+    area=st.sampled_from([40.0, 60.0]),
+    seed=st.integers(0, 1000),
+)
+def test_property_random_deployments_complete(n, area, seed):
+    topo = connected_random_topology(n, area, seed)
+    dep, res, image = run(topo, seed=seed, n_segments=1)
+    assert res.all_complete, f"coverage {res.coverage:.0%} on n={n}"
+    assert res.images_intact(image)
+    for mote in dep.motes.values():
+        assert mote.eeprom.max_write_count() <= 1
+
+
+def test_clustered_deployment():
+    """Two dense clusters joined by a single bridge node."""
+    positions = (
+        [(x * 8.0, y * 8.0) for x in range(3) for y in range(2)]
+        + [(40.0, 4.0)]  # the bridge
+        + [(64.0 + x * 8.0, y * 8.0) for x in range(3) for y in range(2)]
+    )
+    topo = Topology(positions)
+    assert is_connected(topo, RANGE_FT)
+    dep, res, image = run(topo, seed=4, n_segments=2)
+    assert res.all_complete
+    assert res.images_intact(image)
+    # The far cluster's nodes cannot have the base as a parent.
+    far_nodes = range(7, 13)
+    parents = res.parent_map()
+    assert all(parents[n] != dep.base_id for n in far_nodes)
+
+
+def test_single_node_network():
+    """Degenerate: the base alone is instantly 'complete'."""
+    topo = Topology([(0.0, 0.0)])
+    dep, res, image = run(topo, seed=1, n_segments=1)
+    assert res.all_complete
+    assert res.completion_time_ms == 0.0
+
+
+def test_long_sparse_line():
+    """Maximum hop count for the node budget: a 10-hop chain."""
+    topo = Topology.line(11, 20)  # 20 ft spacing, 25 ft range
+    dep, res, image = run(topo, seed=6, n_segments=2)
+    assert res.all_complete
+    assert res.images_intact(image)
+    # Arrival order follows the chain.
+    times = res.got_code_times_ms()
+    assert times[10] > times[1]

@@ -1,0 +1,51 @@
+"""Tests for the robustness experiments (churn, late joiners)."""
+
+from repro.experiments.robustness import (
+    _pick_victims,
+    _survivors_connected,
+    run_churn,
+    run_late_joiner,
+)
+from repro.net.topology import Topology
+from repro.sim.rng import derive_rng
+
+
+def test_churn_survivors_complete():
+    outcome = run_churn(rows=5, cols=5, kill_fraction=0.15, seed=2,
+                        n_segments=1)
+    assert outcome.survivor_coverage == 1.0
+    assert outcome.images_intact
+    assert len(outcome.killed) >= 1
+    assert 0 not in outcome.killed  # base station survives
+
+
+def test_churn_heavier_losses_still_recover():
+    outcome = run_churn(rows=5, cols=5, kill_fraction=0.3, seed=3,
+                        n_segments=1)
+    assert outcome.survivor_coverage == 1.0
+    assert len(outcome.killed) >= 7
+
+
+def test_victim_picker_preserves_connectivity():
+    topo = Topology.grid(6, 6, 10.0)
+    rng = derive_rng(9, "test")
+    victims = _pick_victims(topo, 0, 0.25, rng)
+    assert 0 not in victims
+    assert _survivors_connected(topo, 0, victims)
+
+
+def test_late_joiner_catches_up():
+    join_time, catch_up, dep = run_late_joiner(rows=4, cols=4, seed=2)
+    assert catch_up is not None
+    late = dep.topology.center_node()
+    assert dep.nodes[late].has_full_image
+    # The latecomer caught up from an already-quiescent network, whose
+    # advertisement intervals had backed off -- still bounded time.
+    assert catch_up < 10 * 60 * 1000.0
+
+
+def test_late_joiner_image_intact():
+    _, catch_up, dep = run_late_joiner(rows=3, cols=3, seed=5)
+    assert catch_up is not None
+    late = dep.topology.center_node()
+    assert dep.nodes[late].assemble_image() == dep.image.to_bytes()

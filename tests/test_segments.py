@@ -1,0 +1,120 @@
+"""Tests for program images and segmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.segments import (
+    MAX_SEGMENT_PACKETS,
+    PACKET_PAYLOAD_BYTES,
+    CodeImage,
+    Segment,
+)
+
+
+def test_from_bytes_splits_evenly():
+    data = bytes(range(256)) * 2  # 512 bytes
+    image = CodeImage.from_bytes(1, data, segment_packets=8, packet_bytes=16)
+    # 512 / 16 = 32 packets, 8 per segment -> 4 segments
+    assert image.n_segments == 4
+    assert image.total_packets == 32
+    assert image.size_bytes == 512
+
+
+def test_last_packet_and_segment_may_be_short():
+    data = b"z" * 100
+    image = CodeImage.from_bytes(1, data, segment_packets=3, packet_bytes=16)
+    # 100/16 -> 7 packets (last has 4 bytes); 3 per segment -> 3 segments
+    assert image.n_segments == 3
+    assert image.segment(3).n_packets == 1
+    assert len(image.segment(3).packet(0)) == 4
+
+
+def test_roundtrip_to_bytes():
+    data = bytes(i % 251 for i in range(1000))
+    image = CodeImage.from_bytes(1, data, segment_packets=5, packet_bytes=23)
+    assert image.to_bytes() == data
+
+
+def test_random_image_dimensions():
+    image = CodeImage.random(2, n_segments=3, segment_packets=16)
+    assert image.n_segments == 3
+    assert image.total_packets == 48
+    assert image.size_bytes == 48 * PACKET_PAYLOAD_BYTES
+    assert image.program_id == 2
+
+
+def test_random_image_deterministic_by_seed():
+    a = CodeImage.random(1, 1, segment_packets=4, seed=5).to_bytes()
+    b = CodeImage.random(1, 1, segment_packets=4, seed=5).to_bytes()
+    c = CodeImage.random(1, 1, segment_packets=4, seed=6).to_bytes()
+    assert a == b
+    assert a != c
+
+
+def test_paper_sized_segment():
+    """The evaluation uses 128-packet segments of 23-byte payloads
+    (~2.9 KB per segment)."""
+    image = CodeImage.random(1, n_segments=1)
+    assert image.segment(1).n_packets == 128
+    assert 2900 <= image.segment(1).size_bytes <= 2950
+
+
+def test_segment_cap_enforced():
+    packets = [b"x"] * (MAX_SEGMENT_PACKETS + 1)
+    with pytest.raises(ValueError):
+        Segment(1, packets)
+
+
+def test_segment_ids_one_based_in_order():
+    seg1 = Segment(1, [b"a"])
+    seg3 = Segment(3, [b"b"])
+    with pytest.raises(ValueError):
+        CodeImage(1, [seg1, seg3])
+    with pytest.raises(ValueError):
+        Segment(0, [b"a"])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        CodeImage.from_bytes(1, b"")
+    with pytest.raises(ValueError):
+        CodeImage(1, [])
+    with pytest.raises(ValueError):
+        Segment(1, [])
+    with pytest.raises(ValueError):
+        CodeImage.random(1, 0)
+
+
+def test_segment_lookup_bounds():
+    image = CodeImage.random(1, 2, segment_packets=4)
+    assert image.segment(1).seg_id == 1
+    with pytest.raises(KeyError):
+        image.segment(0)
+    with pytest.raises(KeyError):
+        image.segment(3)
+
+
+def test_segment_packets_bounds():
+    with pytest.raises(ValueError):
+        CodeImage.from_bytes(1, b"abc", segment_packets=0)
+    with pytest.raises(ValueError):
+        CodeImage.from_bytes(1, b"abc",
+                             segment_packets=MAX_SEGMENT_PACKETS + 1)
+
+
+@settings(max_examples=30)
+@given(
+    data=st.binary(min_size=1, max_size=2000),
+    segment_packets=st.integers(min_value=1, max_value=16),
+    packet_bytes=st.integers(min_value=1, max_value=32),
+)
+def test_property_split_reassemble_roundtrip(data, segment_packets,
+                                             packet_bytes):
+    image = CodeImage.from_bytes(1, data, segment_packets=segment_packets,
+                                 packet_bytes=packet_bytes)
+    assert image.to_bytes() == data
+    # structural invariants
+    assert all(s.n_packets <= segment_packets for s in image.segments)
+    assert [s.seg_id for s in image.segments] == list(
+        range(1, image.n_segments + 1)
+    )

@@ -1,0 +1,72 @@
+"""Tests for the ReqCtr competition rules."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.sender_selection import loses_to, preempted_by_lower_segment
+
+
+def test_zero_requesters_never_win():
+    assert not loses_to(0, 1, 0, 2)
+    assert not loses_to(5, 1, 0, 2)
+
+
+def test_strictly_more_requesters_wins():
+    assert loses_to(1, 9, 2, 1)
+    assert not loses_to(2, 1, 1, 9)
+
+
+def test_tie_broken_by_node_id():
+    assert loses_to(3, 1, 3, 2)
+    assert not loses_to(3, 2, 3, 1)
+
+
+def test_self_comparison_is_stable():
+    # A node never loses to its own (ctr, id) pair.
+    assert not loses_to(4, 7, 4, 7)
+
+
+def test_lower_segment_preemption():
+    assert preempted_by_lower_segment(3, 2, 1)
+    assert not preempted_by_lower_segment(3, 2, 0)  # no requesters yet
+    assert not preempted_by_lower_segment(2, 2, 5)  # same segment
+    assert not preempted_by_lower_segment(2, 3, 5)  # higher segment
+
+
+def test_lower_segment_threshold():
+    assert not preempted_by_lower_segment(3, 2, 1, min_requests=2)
+    assert preempted_by_lower_segment(3, 2, 2, min_requests=2)
+
+
+# ----------------------------------------------------------------------
+# The paper's "this cannot cause deadlock" claim: among any set of
+# competing sources with at least one requester somewhere, exactly one
+# node survives every pairwise comparison.
+# ----------------------------------------------------------------------
+competitors = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10),  # req_ctr
+              st.integers(min_value=0, max_value=1000)),  # node id
+    min_size=1, max_size=20, unique_by=lambda t: t[1],
+)
+
+
+@given(competitors)
+def test_property_no_deadlock_some_survivor(nodes):
+    survivors = [
+        (ctr, nid) for ctr, nid in nodes
+        if not any(loses_to(ctr, nid, octr, onid)
+                   for octr, onid in nodes if onid != nid)
+    ]
+    assert len(survivors) >= 1
+    # If anyone has requesters, the survivor with requesters is unique.
+    if any(ctr > 0 for ctr, _ in nodes):
+        winners = [s for s in survivors if s[0] > 0]
+        assert len(winners) == 1
+        # and it is the max by (req_ctr, id)
+        assert winners[0] == max(nodes)
+
+
+@given(st.integers(0, 10), st.integers(0, 100),
+       st.integers(0, 10), st.integers(0, 100))
+def test_property_antisymmetric(c1, i1, c2, i2):
+    if (c1, i1) != (c2, i2):
+        assert not (loses_to(c1, i1, c2, i2) and loses_to(c2, i2, c1, i1))

@@ -1,0 +1,100 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    q.push(5.0, lambda: None)
+    q.push(1.0, lambda: None)
+    q.push(3.0, lambda: None)
+    times = [q.pop().time for _ in range(3)]
+    assert times == [1.0, 3.0, 5.0]
+
+
+def test_ties_broken_by_insertion_order():
+    q = EventQueue()
+    first = q.push(2.0, "a")
+    second = q.push(2.0, "b")
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(1.0, "keep")
+    drop = q.push(0.5, "drop")
+    drop.cancel()
+    q.notice_cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    a = q.push(1.0, None)
+    q.push(2.0, None)
+    assert len(q) == 2
+    a.cancel()
+    q.notice_cancel()
+    assert len(q) == 1
+
+
+def test_bool_reflects_liveness():
+    q = EventQueue()
+    assert not q
+    e = q.push(1.0, None)
+    assert q
+    e.cancel()
+    q.notice_cancel()
+    assert not q
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    early = q.push(1.0, None)
+    q.push(2.0, None)
+    early.cancel()
+    q.notice_cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_event_double_cancel_is_noop():
+    event = Event(1.0, 0, None, ())
+    event.cancel()
+    event.cancel()
+    assert event.cancelled
+
+
+def test_event_ordering_dunder():
+    a = Event(1.0, 0, None, ())
+    b = Event(1.0, 1, None, ())
+    c = Event(0.5, 2, None, ())
+    assert c < a < b
+
+
+def test_repr_mentions_state():
+    event = Event(1.5, 0, test_repr_mentions_state, ())
+    assert "1.5" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+def test_many_events_pop_in_global_order():
+    q = EventQueue()
+    import random
+
+    rng = random.Random(3)
+    times = [rng.uniform(0, 100) for _ in range(500)]
+    for t in times:
+        q.push(t, None)
+    popped = [q.pop().time for _ in range(500)]
+    assert popped == sorted(times)

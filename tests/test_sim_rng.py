@@ -1,0 +1,28 @@
+"""Tests for deterministic random-stream derivation."""
+
+from repro.sim.rng import derive_rng
+
+
+def test_same_labels_same_stream():
+    a = derive_rng(1, "mac", 3)
+    b = derive_rng(1, "mac", 3)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_labels_different_streams():
+    a = derive_rng(1, "mac", 3).random()
+    b = derive_rng(1, "mac", 4).random()
+    c = derive_rng(1, "channel", 3).random()
+    assert len({a, b, c}) == 3
+
+
+def test_different_seeds_different_streams():
+    assert derive_rng(1, "x").random() != derive_rng(2, "x").random()
+
+
+def test_integer_and_string_labels_are_distinct():
+    assert derive_rng(0, 1).random() != derive_rng(0, "1").random()
+
+
+def test_label_order_matters():
+    assert derive_rng(0, "a", "b").random() != derive_rng(0, "b", "a").random()

@@ -1,0 +1,86 @@
+"""Unit tests for the Timer facility."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Timer
+
+
+def make():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now), name="t")
+    return sim, timer, fired
+
+
+def test_timer_fires_after_delay():
+    sim, timer, fired = make()
+    timer.start(10.0)
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_timer_not_running_initially():
+    _, timer, _ = make()
+    assert not timer.running
+    assert timer.expiry is None
+
+
+def test_timer_running_and_expiry_while_armed():
+    sim, timer, _ = make()
+    timer.start(7.0)
+    assert timer.running
+    assert timer.expiry == 7.0
+
+
+def test_stop_prevents_firing():
+    sim, timer, fired = make()
+    timer.start(5.0)
+    timer.stop()
+    sim.run()
+    assert fired == []
+    assert not timer.running
+
+
+def test_restart_supersedes_previous():
+    sim, timer, fired = make()
+    timer.start(5.0)
+    timer.start(20.0)
+    sim.run()
+    assert fired == [20.0]
+
+
+def test_timer_can_be_reused_after_firing():
+    sim, timer, fired = make()
+    timer.start(1.0)
+    sim.run()
+    timer.start(2.0)
+    sim.run()
+    assert fired == [1.0, 3.0]
+
+
+def test_stop_idempotent():
+    _, timer, _ = make()
+    timer.stop()
+    timer.stop()
+    assert not timer.running
+
+
+def test_restart_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            timer.start(10.0)
+
+    timer = Timer(sim, cb)
+    timer.start(10.0)
+    sim.run()
+    assert fired == [10.0, 20.0, 30.0]
+
+
+def test_repr_shows_state():
+    sim, timer, _ = make()
+    assert "idle" in repr(timer)
+    timer.start(4.0)
+    assert "fires@" in repr(timer)

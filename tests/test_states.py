@@ -1,0 +1,58 @@
+"""Tests for the Fig. 4 state machine table."""
+
+from repro.core.states import ALLOWED_TRANSITIONS, MNPState, is_allowed
+
+
+def test_all_states_enumerated():
+    assert set(MNPState.ALL) == {
+        "idle", "download", "advertise", "forward", "sleep", "fail",
+        "query", "update",
+    }
+    assert set(MNPState.BASIC) == set(MNPState.ALL) - {"query", "update"}
+
+
+def test_fig4_core_edges_present():
+    # The edges spelled out in the figure's caption text.
+    assert is_allowed(MNPState.IDLE, MNPState.DOWNLOAD)
+    assert is_allowed(MNPState.DOWNLOAD, MNPState.ADVERTISE)
+    assert is_allowed(MNPState.DOWNLOAD, MNPState.FAIL)
+    assert is_allowed(MNPState.ADVERTISE, MNPState.FORWARD)
+    assert is_allowed(MNPState.ADVERTISE, MNPState.SLEEP)
+    assert is_allowed(MNPState.FORWARD, MNPState.SLEEP)
+    assert is_allowed(MNPState.SLEEP, MNPState.ADVERTISE)
+    assert is_allowed(MNPState.FAIL, MNPState.IDLE)
+
+
+def test_query_update_extension_edges():
+    assert is_allowed(MNPState.FORWARD, MNPState.QUERY)
+    assert is_allowed(MNPState.QUERY, MNPState.SLEEP)
+    assert is_allowed(MNPState.DOWNLOAD, MNPState.UPDATE)
+    assert is_allowed(MNPState.UPDATE, MNPState.ADVERTISE)
+    assert is_allowed(MNPState.UPDATE, MNPState.FAIL)
+
+
+def test_forbidden_edges():
+    assert not is_allowed(MNPState.IDLE, MNPState.FORWARD)
+    assert not is_allowed(MNPState.SLEEP, MNPState.DOWNLOAD)
+    assert not is_allowed(MNPState.FAIL, MNPState.ADVERTISE)
+    assert not is_allowed(MNPState.FORWARD, MNPState.DOWNLOAD)
+    assert not is_allowed(MNPState.QUERY, MNPState.DOWNLOAD)
+    assert not is_allowed(MNPState.UPDATE, MNPState.DOWNLOAD)
+
+
+def test_fail_is_transient_with_single_exit():
+    assert ALLOWED_TRANSITIONS[MNPState.FAIL] == {MNPState.IDLE}
+
+
+def test_every_state_is_reachable_and_leavable():
+    reachable = {t for targets in ALLOWED_TRANSITIONS.values()
+                 for t in targets}
+    # idle is the initial state, so it need not be a target of the figure,
+    # but our table includes sleep->idle and fail->idle.
+    assert set(MNPState.ALL) - reachable == set()
+    for state in MNPState.ALL:
+        assert ALLOWED_TRANSITIONS.get(state), f"{state} is a dead end"
+
+
+def test_unknown_state_has_no_transitions():
+    assert not is_allowed("bogus", MNPState.IDLE)

@@ -1,0 +1,75 @@
+"""Tests for JSONL trace export."""
+
+import io
+
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.metrics.export import TraceWriter, export_run, read_trace
+from repro.net.loss_models import PerfectLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, Simulator
+
+
+def test_writer_roundtrip():
+    sim = Simulator()
+    buf = io.StringIO()
+    writer = TraceWriter(sim, buf)
+    sim.schedule(5.0, lambda: sim.tracer.emit("cat", node=3, note="hi"))
+    sim.run()
+    writer.close()
+    records = list(read_trace(io.StringIO(buf.getvalue())))
+    assert len(records) == 1
+    assert records[0].time == 5.0
+    assert records[0].category == "cat"
+    assert records[0].node == 3
+    assert records[0].note == "hi"
+
+
+def test_category_filter_and_close():
+    sim = Simulator()
+    buf = io.StringIO()
+    with TraceWriter(sim, buf, categories=("keep",)) as writer:
+        sim.tracer.emit("keep", a=1)
+        sim.tracer.emit("drop", a=2)
+    sim.tracer.emit("keep", a=3)  # after close: not recorded
+    assert writer.records_written == 1
+    records = list(read_trace(io.StringIO(buf.getvalue())))
+    assert [r.category for r in records] == ["keep"]
+
+
+def test_non_json_values_stringified():
+    from repro.core.bitvector import BitVector
+
+    sim = Simulator()
+    buf = io.StringIO()
+    with TraceWriter(sim, buf):
+        sim.tracer.emit("x", vec=BitVector.all_set(4))
+    record = next(read_trace(io.StringIO(buf.getvalue())))
+    assert "BitVector" in record.vec
+
+
+def test_export_full_run(tmp_path):
+    image = CodeImage.random(1, n_segments=1, segment_packets=8, seed=31)
+    dep = Deployment(
+        Topology.line(3, 15), image=image, protocol="mnp", seed=31,
+        loss_model=PerfectLossModel(),
+        propagation=PropagationModel.outdoor(25.0),
+    )
+    path = tmp_path / "trace.jsonl"
+    result = export_run(dep, path, deadline_ms=20 * MINUTE)
+    assert result.all_complete
+    with open(path) as fh:
+        records = list(read_trace(fh))
+    assert records
+    categories = {r.category for r in records}
+    assert "radio.tx" in categories
+    assert "mnp.got_code" in categories
+    # Times are monotone non-decreasing (stream order == event order).
+    times = [r.time for r in records]
+    assert times == sorted(times)
+
+
+def test_read_skips_blank_lines():
+    stream = io.StringIO('\n{"t":1.0,"c":"a"}\n\n{"t":2.0,"c":"b"}\n')
+    assert [r.category for r in read_trace(stream)] == ["a", "b"]
