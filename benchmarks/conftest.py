@@ -10,11 +10,28 @@ Figures 8, 9, 11, and 12 all read the same large-grid run, which is
 computed once per session and cached.
 """
 
+import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+CACHE_DIR = pathlib.Path(__file__).parent / "cache"
+
+
+def runner_kwargs():
+    """Parallel-runner knobs for the sweep-style benchmarks.
+
+    ``REPRO_WORKERS=N`` fans sweeps out over N worker processes
+    (default 0 = serial, preserving the historical timings);
+    ``REPRO_CACHE=1`` additionally persists/reuses manifests under
+    ``benchmarks/cache`` so repeated invocations are incremental --
+    leave it off when the wall-clock numbers themselves matter.
+    """
+    kwargs = {"workers": int(os.environ.get("REPRO_WORKERS", "0") or 0)}
+    if os.environ.get("REPRO_CACHE"):
+        kwargs["cache_dir"] = str(CACHE_DIR)
+    return kwargs
 
 
 def save_report(name, text):

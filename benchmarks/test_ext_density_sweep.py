@@ -11,7 +11,7 @@ concentrate forwarding in fewer senders; coverage is 100% throughout.
 
 from repro.experiments.density import density_report, run_density_sweep
 
-from conftest import save_report
+from conftest import runner_kwargs, save_report
 
 SPACINGS = (6.0, 10.0, 16.0)
 
@@ -19,11 +19,13 @@ SPACINGS = (6.0, 10.0, 16.0)
 def test_ext_density_sweep(benchmark):
     points = benchmark.pedantic(
         run_density_sweep,
-        kwargs={"spacings": SPACINGS, "protocol": "mnp", "seed": 1},
+        kwargs={"spacings": SPACINGS, "protocol": "mnp", "seed": 1,
+                **runner_kwargs()},
         rounds=1, iterations=1,
     )
     deluge_points = run_density_sweep(spacings=SPACINGS,
-                                      protocol="deluge", seed=1)
+                                      protocol="deluge", seed=1,
+                                      **runner_kwargs())
     save_report("ext_density_sweep",
                 density_report(points + deluge_points))
 

@@ -10,12 +10,13 @@ monotone trends end to end.
 
 from repro.experiments.power_sweep import power_report, run_power_sweep
 
-from conftest import save_report
+from conftest import runner_kwargs, save_report
 
 
 def test_ext_power_sweep(benchmark):
     points = benchmark.pedantic(
-        run_power_sweep, kwargs={"seed": 1, "program_packets": 128},
+        run_power_sweep,
+        kwargs={"seed": 1, "program_packets": 128, **runner_kwargs()},
         rounds=1, iterations=1,
     )
     save_report("ext_power_sweep", power_report(points))

@@ -9,11 +9,12 @@ lower still.
 
 from repro.experiments.size_sweep import fig10_report, linearity_r2, run_sweep
 
-from conftest import save_report
+from conftest import runner_kwargs, save_report
 
 
 def test_fig10_size_sweep(benchmark):
-    points = benchmark.pedantic(run_sweep, kwargs={"seed": 1},
+    points = benchmark.pedantic(run_sweep,
+                                kwargs={"seed": 1, **runner_kwargs()},
                                 rounds=1, iterations=1)
     save_report("fig10_size_sweep", fig10_report(points))
 

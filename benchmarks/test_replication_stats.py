@@ -12,7 +12,7 @@ from repro.experiments.replication import (
     statistics_report,
 )
 
-from conftest import save_report
+from conftest import runner_kwargs, save_report
 
 SEEDS = (1, 2, 3)
 
@@ -22,7 +22,7 @@ def test_replication_stats(benchmark):
         protocol_statistics,
         kwargs={"protocols": ("mnp", "deluge"), "seeds": SEEDS,
                 "rows": 6, "cols": 6, "n_segments": 2,
-                "segment_packets": 32},
+                "segment_packets": 32, **runner_kwargs()},
         rounds=1, iterations=1,
     )
     mnp, deluge = stats["mnp"], stats["deluge"]

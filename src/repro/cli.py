@@ -1,19 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Four commands cover the common workflows:
 
 * ``run``     -- disseminate an image over a grid and print the summary
                  metrics (any protocol);
 * ``figure``  -- regenerate one of the paper's tables/figures by name and
                  print its textual rendering;
 * ``compare`` -- run several protocols on identical channels and print
-                 the Section 5-style comparison table.
+                 the Section 5-style comparison table;
+* ``sweep``   -- replicate a run across seeds on a parallel, cached
+                 worker fleet (see :mod:`repro.runner`) and print
+                 per-seed metrics plus aggregates.
 
 Examples::
 
     python -m repro run --grid 10x10 --segments 4 --protocol mnp
     python -m repro figure fig8
     python -m repro compare mnp deluge xnp --grid 8x8
+    python -m repro sweep --seeds 0-9 --workers 4 --grid 6x6
 """
 
 import argparse
@@ -33,6 +37,30 @@ def _parse_grid(text):
     if rows < 1 or cols < 1:
         raise argparse.ArgumentTypeError("grid dimensions must be positive")
     return rows, cols
+
+
+def _parse_seeds(text):
+    """Seed lists: '0-9', '1,2,5', or a mix ('0-3,7')."""
+    seeds = []
+    try:
+        for part in text.split(","):
+            part = part.strip()
+            if "-" in part.lstrip("-")[1:] or (part.count("-") and
+                                               not part.startswith("-")):
+                lo, hi = part.split("-")
+                lo, hi = int(lo), int(hi)
+                if hi < lo:
+                    raise ValueError
+                seeds.extend(range(lo, hi + 1))
+            else:
+                seeds.append(int(part))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seeds must look like '0-9' or '1,2,5', got {text!r}"
+        ) from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("empty seed list")
+    return seeds
 
 
 def _build_parser():
@@ -79,6 +107,36 @@ def _build_parser():
                        metavar="RxC")
     cmp_p.add_argument("--segments", type=int, default=2)
     cmp_p.add_argument("--seed", type=int, default=0)
+
+    swp_p = sub.add_parser(
+        "sweep",
+        help="replicate runs across seeds on a parallel, cached fleet")
+    swp_p.add_argument("--protocol", default="mnp",
+                       help="mnp, deluge, moap, xnp, or flood")
+    swp_p.add_argument("--seeds", type=_parse_seeds, default=list(range(5)),
+                       metavar="SPEC",
+                       help="e.g. '0-9' or '1,2,5' (default 0-4)")
+    swp_p.add_argument("--scale", default=None,
+                       choices=("smoke", "default", "paper"),
+                       help="smoke, default, or paper (default: REPRO_SCALE)")
+    swp_p.add_argument("--grid", type=_parse_grid, default=None,
+                       metavar="RxC", help="override the scale's grid")
+    swp_p.add_argument("--segments", type=int, default=None,
+                       help="override the scale's segment count")
+    swp_p.add_argument("--segment-packets", type=int, default=None,
+                       help="override the scale's packets per segment")
+    swp_p.add_argument("--workers", type=int, default=0,
+                       help="worker processes; 0/1 = serial (default 0)")
+    swp_p.add_argument("--cache-dir", default="benchmarks/cache",
+                       help="manifest directory (default benchmarks/cache)")
+    swp_p.add_argument("--no-cache", action="store_true",
+                       help="always re-simulate; write nothing")
+    swp_p.add_argument("--require-cached", action="store_true",
+                       help="fail (exit 3) if any spec misses the cache")
+    swp_p.add_argument("--json", action="store_true",
+                       help="emit per-seed metrics as JSON")
+    swp_p.add_argument("--quiet", action="store_true",
+                       help="suppress progress/heartbeat lines")
     return parser
 
 
@@ -138,6 +196,87 @@ def _cmd_run(args, out):
               f"{sum(energy.values()) / len(energy) / 1000:.1f} uAh\n")
     out.write(f"  images intact:     {result.images_intact(image)}\n")
     return 0 if result.coverage == 1.0 else 1
+
+
+def _cmd_sweep(args, out):
+    import sys as _sys
+
+    from repro.experiments.replication import MetricStats
+    from repro.experiments.scale import current_scale, get_scale
+    from repro.metrics.reports import format_table
+    from repro.runner import RunSpec, Runner
+
+    scale = get_scale(args.scale) if args.scale else current_scale()
+    rows, cols = args.grid if args.grid else (None, None)
+    specs = [
+        RunSpec(
+            "grid", protocol=args.protocol, scale=scale.name, seed=seed,
+            rows=rows, cols=cols, n_segments=args.segments,
+            segment_packets=args.segment_packets,
+        )
+        for seed in args.seeds
+    ]
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=_sys.stderr, flush=True))
+    runner = Runner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+    )
+    if args.require_cached:
+        missing = [s for s in specs if runner.load_cached(s) is None]
+        if missing:
+            out.write(
+                f"{len(missing)}/{len(specs)} spec(s) not cached "
+                f"(first: {missing[0].label()})\n"
+            )
+            return 3
+    results = runner.run(specs)
+    metric_keys = ("coverage", "completion_s", "art_s", "collisions",
+                   "messages_sent", "mean_energy_nah")
+    if args.json:
+        import json
+
+        payload = {
+            "protocol": args.protocol,
+            "scale": scale.name,
+            "cache": {"hits": runner.stats.hits,
+                      "misses": runner.stats.misses},
+            "elapsed_s": runner.stats.elapsed_s,
+            "runs": [
+                {"seed": spec.seed, "key": spec.cache_key(),
+                 "metrics": metrics}
+                for spec, metrics in zip(specs, results)
+            ],
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        def _cell(value):
+            if value is None:
+                return "-"
+            return f"{value:.1f}" if isinstance(value, float) else value
+
+        table_rows = [
+            [spec.seed] + [_cell(metrics.get(k)) for k in metric_keys]
+            for spec, metrics in zip(specs, results)
+        ]
+        out.write(format_table(
+            ["seed"] + list(metric_keys), table_rows,
+            title=(f"Sweep: {args.protocol} at scale={scale.name}, "
+                   f"{len(specs)} seed(s), {args.workers} worker(s)"),
+        ) + "\n")
+        for key in ("completion_s", "art_s", "collisions"):
+            stats = MetricStats(key, [m.get(key) for m in results])
+            if stats.mean is not None:
+                out.write(f"  {key}: mean {stats.mean:.1f} "
+                          f"+/- {stats.stdev:.1f} "
+                          f"[{stats.min:.1f}, {stats.max:.1f}]\n")
+        out.write(
+            f"  cache: {runner.stats.hits} hit(s), "
+            f"{runner.stats.misses} miss(es) "
+            f"({runner.stats.elapsed_s:.1f}s total)\n"
+        )
+    return 0
 
 
 _FIGURES = {}
@@ -282,6 +421,8 @@ def main(argv=None, out=None):
         return _cmd_figure(args, out)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     return 2
 
 

@@ -160,6 +160,24 @@ class RunResult:
             "senders": len(self.sender_order()),
         }
 
+    def summary_metrics(self):
+        """Superset of :meth:`to_dict` used by the parallel runner: adds
+        the derived per-run scalars the sweep/replication layers consume,
+        so serial and parallel paths reduce runs identically."""
+        from repro.sim.kernel import SECOND
+
+        metrics = self.to_dict()
+        completion = self.completion_time_ms
+        art_ni = self.active_radio_no_initial_ms()
+        metrics.update({
+            "completion_s": completion / SECOND if completion else None,
+            "art_s": metrics["avg_active_radio_s"],
+            "art_no_init_s": sum(art_ni.values()) / len(art_ni) / SECOND,
+            "image_bytes": self.deployment.image.size_bytes,
+            "seed": self.deployment.seed,
+        })
+        return metrics
+
     def images_intact(self, reference_image):
         """Accuracy check: every complete node's EEPROM content equals the
         disseminated image byte-for-byte."""
@@ -169,6 +187,35 @@ class RunResult:
                 if node.assemble_image() != expected:
                     return False
         return True
+
+
+def grid_experiment(spec):
+    """Runner executor for the standard large-grid run (``experiment="grid"``).
+
+    ``spec.overrides`` may carry ``rows``, ``cols``, ``n_segments``,
+    ``segment_packets``, ``deadline_min``, and (for MNP) a ``config`` dict
+    of :class:`MNPConfig` keyword arguments; anything unspecified falls
+    back to the spec's pinned scale.  Returns the run's
+    :meth:`RunResult.summary_metrics`.
+    """
+    from repro.experiments.active_radio import run_simulation_grid
+    from repro.experiments.scale import get_scale
+
+    scale = get_scale(spec.scale)
+    ov = spec.overrides
+    config_kwargs = ov.get("config")
+    config = MNPConfig(**config_kwargs) if config_kwargs else None
+    run = run_simulation_grid(
+        rows=ov.get("rows", scale.grid[0]),
+        cols=ov.get("cols", scale.grid[1]),
+        n_segments=ov.get("n_segments", scale.n_segments),
+        segment_packets=ov.get("segment_packets", scale.segment_packets),
+        seed=spec.seed,
+        config=config,
+        protocol=spec.protocol,
+        deadline_min=ov.get("deadline_min", 480),
+    )
+    return run.summary_metrics()
 
 
 class Deployment:

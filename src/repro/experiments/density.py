@@ -16,7 +16,7 @@ from repro.net.connectivity import hop_counts
 from repro.net.loss_models import EmpiricalLossModel
 from repro.net.topology import Topology
 from repro.radio.propagation import PropagationModel
-from repro.sim.kernel import MINUTE, SECOND
+from repro.sim.kernel import MINUTE
 
 RANGE_FT = 25.0
 
@@ -25,37 +25,84 @@ class DensityPoint:
     """One (protocol, spacing) measurement."""
 
     def __init__(self, protocol, spacing_ft, run, topo):
-        self.protocol = protocol
-        self.spacing_ft = spacing_ft
-        self.coverage = run.coverage
-        self.completion_s = run.completion_time_ms / SECOND \
-            if run.completion_time_ms else None
-        self.collisions = run.collector.collisions
-        self.senders = len(run.sender_order())
-        hops = hop_counts(topo, RANGE_FT, run.deployment.base_id)
-        self.max_hops = max(hops.values()) if hops else 0
-        neighborhood = [
-            len(topo.nodes_within(n, RANGE_FT)) for n in topo.node_ids()
-        ]
-        self.mean_neighbors = sum(neighborhood) / len(neighborhood)
+        self._init_from_metrics(_point_metrics(protocol, spacing_ft,
+                                               run, topo))
+
+    def _init_from_metrics(self, metrics):
+        self.protocol = metrics["protocol"]
+        self.spacing_ft = metrics["spacing_ft"]
+        self.coverage = metrics["coverage"]
+        self.completion_s = metrics["completion_s"]
+        self.collisions = metrics["collisions"]
+        self.senders = metrics["senders"]
+        self.max_hops = metrics["max_hops"]
+        self.mean_neighbors = metrics["mean_neighbors"]
+
+    @classmethod
+    def from_metrics(cls, metrics):
+        """Build a point from a runner metrics dict (no live run needed)."""
+        point = cls.__new__(cls)
+        point._init_from_metrics(metrics)
+        return point
+
+
+def _point_metrics(protocol, spacing_ft, run, topo):
+    """Reduce one density run to its JSON-ready point metrics."""
+    metrics = run.summary_metrics()
+    hops = hop_counts(topo, RANGE_FT, run.deployment.base_id)
+    neighborhood = [
+        len(topo.nodes_within(n, RANGE_FT)) for n in topo.node_ids()
+    ]
+    metrics.update({
+        "protocol": protocol,
+        "spacing_ft": spacing_ft,
+        "max_hops": max(hops.values()) if hops else 0,
+        "mean_neighbors": sum(neighborhood) / len(neighborhood),
+    })
+    return metrics
+
+
+def _run_density_point(protocol, spacing_ft, rows, cols, n_segments, seed):
+    topo = Topology.grid(rows, cols, spacing_ft)
+    image = CodeImage.random(1, n_segments=n_segments,
+                             segment_packets=32, seed=seed)
+    dep = Deployment(
+        topo, image=image, protocol=protocol, seed=seed,
+        propagation=PropagationModel(RANGE_FT, 3.0),
+        loss_model=EmpiricalLossModel(seed=seed),
+    )
+    run = dep.run_to_completion(deadline_ms=4 * 60 * MINUTE)
+    return _point_metrics(protocol, spacing_ft, run, topo)
+
+
+def density_experiment(spec):
+    """Runner executor for one (protocol, spacing) density point."""
+    ov = spec.overrides
+    return _run_density_point(
+        spec.protocol, ov["spacing_ft"], ov.get("rows", 6),
+        ov.get("cols", 6), ov.get("n_segments", 2), spec.seed,
+    )
 
 
 def run_density_sweep(spacings=(6.0, 10.0, 16.0), protocol="mnp",
-                      rows=6, cols=6, n_segments=2, seed=0):
-    """Sweep grid spacing at a fixed radio range."""
-    points = []
-    for spacing in spacings:
-        topo = Topology.grid(rows, cols, spacing)
-        image = CodeImage.random(1, n_segments=n_segments,
-                                 segment_packets=32, seed=seed)
-        dep = Deployment(
-            topo, image=image, protocol=protocol, seed=seed,
-            propagation=PropagationModel(RANGE_FT, 3.0),
-            loss_model=EmpiricalLossModel(seed=seed),
-        )
-        run = dep.run_to_completion(deadline_ms=4 * 60 * MINUTE)
-        points.append(DensityPoint(protocol, spacing, run, topo))
-    return points
+                      rows=6, cols=6, n_segments=2, seed=0, workers=0,
+                      cache_dir=None, progress=None):
+    """Sweep grid spacing at a fixed radio range.
+
+    ``workers >= 2`` fans the spacings out over the parallel runner
+    (:mod:`repro.runner`); ``cache_dir`` makes re-runs incremental.
+    """
+    from repro.runner import RunSpec, Runner
+
+    specs = [
+        RunSpec("density", protocol=protocol, scale="default", seed=seed,
+                spacing_ft=spacing, rows=rows, cols=cols,
+                n_segments=n_segments)
+        for spacing in spacings
+    ]
+    per_run = Runner(workers=workers, cache_dir=cache_dir,
+                     progress=progress).run(specs)
+    return [DensityPoint.from_metrics(metrics) for metrics in per_run]
 
 
 def density_report(points):

@@ -18,59 +18,110 @@ from repro.net.connectivity import hop_counts, is_connected, \
 from repro.net.loss_models import EmpiricalLossModel
 from repro.net.topology import Topology
 from repro.radio.propagation import PropagationModel
-from repro.sim.kernel import MINUTE, SECOND
+from repro.sim.kernel import MINUTE
 
 
 class PowerPoint:
     """One power level's measurements."""
 
     def __init__(self, power_level, run, topo, propagation):
-        self.power_level = power_level
-        self.range_ft = propagation.range_ft(power_level)
-        self.coverage = run.coverage
-        self.completion_s = run.completion_time_ms / SECOND \
-            if run.completion_time_ms else None
-        self.senders = len(run.sender_order())
-        hops = hop_counts(topo, self.range_ft, run.deployment.base_id)
-        self.max_hops = max(hops.values()) if len(hops) == len(topo) else None
-        energy = run.energy_nah()
-        self.mean_energy_nah = sum(energy.values()) / len(energy)
+        self._init_from_metrics(
+            _point_metrics(power_level, run, topo, propagation))
+
+    def _init_from_metrics(self, metrics):
+        self.power_level = metrics["power_level"]
+        self.range_ft = metrics["range_ft"]
+        self.coverage = metrics["coverage"]
+        self.completion_s = metrics["completion_s"]
+        self.senders = metrics["senders"]
+        self.max_hops = metrics["max_hops"]
+        self.mean_energy_nah = metrics["mean_energy_nah"]
+
+    @classmethod
+    def from_metrics(cls, metrics):
+        """Build a point from a runner metrics dict (no live run needed)."""
+        point = cls.__new__(cls)
+        point._init_from_metrics(metrics)
+        return point
 
 
-def run_power_sweep(levels=None, rows=5, cols=5, spacing_ft=4.0,
-                    environment="indoor", program_packets=128, seed=0):
-    """Sweep power levels over the paper's indoor-style grid.
+def _point_metrics(power_level, run, topo, propagation):
+    """Reduce one power-level run to its JSON-ready point metrics."""
+    metrics = run.summary_metrics()
+    range_ft = propagation.range_ft(power_level)
+    hops = hop_counts(topo, range_ft, run.deployment.base_id)
+    metrics.update({
+        "power_level": power_level,
+        "range_ft": range_ft,
+        "max_hops": max(hops.values()) if len(hops) == len(topo) else None,
+    })
+    return metrics
 
-    ``levels`` defaults to a spread from just above the minimum
-    connecting level up to full power.
-    """
+
+def _propagation_for(environment):
     if environment == "indoor":
-        propagation = PropagationModel.indoor(40.0)
-    else:
-        propagation = PropagationModel.outdoor(60.0)
+        return PropagationModel.indoor(40.0)
+    return PropagationModel.outdoor(60.0)
+
+
+def _run_power_point(level, rows, cols, spacing_ft, environment,
+                     program_packets, seed):
+    propagation = _propagation_for(environment)
     topo = Topology.grid(rows, cols, spacing_ft)
-    if levels is None:
-        floor = min_connecting_power(topo, propagation) or 1
-        levels = sorted({floor, 2 * floor, 16, 64, 255} | {floor})
-        levels = [lv for lv in levels if floor <= lv <= 255]
     image = CodeImage.from_bytes(
         1, bytes((i * 31) % 251 for i in range(program_packets * 23)),
         segment_packets=128,
     )
     config = MNPConfig(pipelining=False, query_update=True)
-    points = []
-    for level in levels:
-        if not is_connected(topo, propagation.range_ft(level)):
-            continue
-        dep = Deployment(
-            topo, image=image, protocol="mnp", protocol_config=config,
-            seed=seed, propagation=propagation,
-            loss_model=EmpiricalLossModel(seed=seed, sigma=0.3),
-            mote_config=MoteConfig(power_level=level),
-        )
-        run = dep.run_to_completion(deadline_ms=4 * 60 * MINUTE)
-        points.append(PowerPoint(level, run, topo, propagation))
-    return points
+    dep = Deployment(
+        topo, image=image, protocol="mnp", protocol_config=config,
+        seed=seed, propagation=propagation,
+        loss_model=EmpiricalLossModel(seed=seed, sigma=0.3),
+        mote_config=MoteConfig(power_level=level),
+    )
+    run = dep.run_to_completion(deadline_ms=4 * 60 * MINUTE)
+    return _point_metrics(level, run, topo, propagation)
+
+
+def power_experiment(spec):
+    """Runner executor for one power-level point."""
+    ov = spec.overrides
+    return _run_power_point(
+        ov["level"], ov.get("rows", 5), ov.get("cols", 5),
+        ov.get("spacing_ft", 4.0), ov.get("environment", "indoor"),
+        ov.get("program_packets", 128), spec.seed,
+    )
+
+
+def run_power_sweep(levels=None, rows=5, cols=5, spacing_ft=4.0,
+                    environment="indoor", program_packets=128, seed=0,
+                    workers=0, cache_dir=None, progress=None):
+    """Sweep power levels over the paper's indoor-style grid.
+
+    ``levels`` defaults to a spread from just above the minimum
+    connecting level up to full power.  ``workers >= 2`` fans the levels
+    out over the parallel runner (:mod:`repro.runner`); ``cache_dir``
+    makes re-runs incremental.
+    """
+    from repro.runner import RunSpec, Runner
+
+    propagation = _propagation_for(environment)
+    topo = Topology.grid(rows, cols, spacing_ft)
+    if levels is None:
+        floor = min_connecting_power(topo, propagation) or 1
+        levels = sorted({floor, 2 * floor, 16, 64, 255} | {floor})
+        levels = [lv for lv in levels if floor <= lv <= 255]
+    levels = [lv for lv in levels
+              if is_connected(topo, propagation.range_ft(lv))]
+    specs = [
+        RunSpec("power", protocol="mnp", scale="default", seed=seed,
+                level=level, rows=rows, cols=cols, spacing_ft=spacing_ft,
+                environment=environment, program_packets=program_packets)
+        for level in levels
+    ]
+    per_run = Runner(workers=workers, cache_dir=cache_dir,
+                     progress=progress).run(specs)
+    return [PowerPoint.from_metrics(metrics) for metrics in per_run]
 
 
 def power_report(points):

@@ -52,6 +52,50 @@ def replicate(experiment, seeds):
     }
 
 
+#: The headline metrics replicated comparisons aggregate by default.
+HEADLINE_METRICS = ("completion_s", "art_s", "collisions", "coverage")
+
+
+def replication_specs(seeds, rows=6, cols=6, n_segments=2,
+                      segment_packets=32, protocol="mnp", scale="default"):
+    """Build one grid :class:`repro.runner.RunSpec` per seed.
+
+    Every dimension is pinned explicitly, so the resulting cache keys do
+    not depend on the ambient ``REPRO_SCALE``.
+    """
+    from repro.runner import RunSpec
+
+    return [
+        RunSpec("grid", protocol=protocol, scale=scale, seed=seed,
+                rows=rows, cols=cols, n_segments=n_segments,
+                segment_packets=segment_packets)
+        for seed in seeds
+    ]
+
+
+def replicate_specs(specs, workers=0, cache_dir=None, progress=None,
+                    metrics=HEADLINE_METRICS):
+    """Execute ``specs`` (serially or on a worker fleet) and aggregate.
+
+    Returns ``{metric: MetricStats}`` over the spec list, in spec order.
+    ``metrics=None`` aggregates every key the runs produced.  Serial
+    (``workers <= 1``) and parallel execution reduce each run through the
+    same :meth:`RunResult.summary_metrics`, so the aggregates are
+    bit-identical for identical specs.
+    """
+    from repro.runner import Runner
+
+    per_run = Runner(workers=workers, cache_dir=cache_dir,
+                     progress=progress).run(specs)
+    keys = metrics
+    if keys is None:
+        keys = sorted({k for result in per_run for k in result})
+    return {
+        key: MetricStats(key, [result.get(key) for result in per_run])
+        for key in keys
+    }
+
+
 def mnp_run_metrics(rows=6, cols=6, n_segments=2, segment_packets=32):
     """An ``experiment`` factory for :func:`replicate`: one standard MNP
     grid run, reduced to its headline numbers."""
@@ -84,28 +128,31 @@ def paired_protocol_wins(metric_a, metric_b):
 
 
 def protocol_statistics(protocols, seeds, rows=6, cols=6, n_segments=2,
-                        segment_packets=32):
-    """Replicated comparison: {protocol: {metric: MetricStats}}."""
-    from repro.experiments.active_radio import run_simulation_grid
-    from repro.sim.kernel import SECOND
+                        segment_packets=32, workers=0, cache_dir=None,
+                        progress=None):
+    """Replicated comparison: {protocol: {metric: MetricStats}}.
 
-    stats = {}
+    With ``workers >= 2`` the full (protocol x seed) matrix fans out over
+    a process fleet (see :mod:`repro.runner`) instead of looping
+    serially; ``cache_dir`` makes repeated invocations incremental.
+    """
+    from repro.runner import Runner
+
+    specs = []
     for protocol in protocols:
-        def experiment(seed, protocol=protocol):
-            run = run_simulation_grid(
-                rows=rows, cols=cols, n_segments=n_segments,
-                segment_packets=segment_packets, seed=seed,
-                protocol=protocol,
-            )
-            return {
-                "completion_s": run.completion_time_ms / SECOND
-                if run.completion_time_ms else None,
-                "art_s": run.average_active_radio_s(),
-                "collisions": run.collector.collisions,
-                "coverage": run.coverage,
-            }
-
-        stats[protocol] = replicate(experiment, seeds)
+        specs.extend(replication_specs(
+            seeds, rows=rows, cols=cols, n_segments=n_segments,
+            segment_packets=segment_packets, protocol=protocol,
+        ))
+    per_run = Runner(workers=workers, cache_dir=cache_dir,
+                     progress=progress).run(specs)
+    stats = {}
+    for p_index, protocol in enumerate(protocols):
+        chunk = per_run[p_index * len(seeds):(p_index + 1) * len(seeds)]
+        stats[protocol] = {
+            key: MetricStats(key, [result.get(key) for result in chunk])
+            for key in HEADLINE_METRICS
+        }
     return stats
 
 

@@ -36,12 +36,21 @@ _SCALES = {
 }
 
 
-def current_scale():
-    """The scale selected by REPRO_SCALE (default: 'default')."""
-    name = os.environ.get("REPRO_SCALE", "default").lower()
+def get_scale(name):
+    """Resolve a scale by name ('smoke', 'default', 'paper')."""
     try:
-        return _SCALES[name]
+        return _SCALES[name.lower()]
     except KeyError:
         raise ValueError(
-            f"REPRO_SCALE={name!r}; choose from {sorted(_SCALES)}"
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
         ) from None
+
+
+def scale_names():
+    """All known scale names, sorted."""
+    return sorted(_SCALES)
+
+
+def current_scale():
+    """The scale selected by REPRO_SCALE (default: 'default')."""
+    return get_scale(os.environ.get("REPRO_SCALE", "default"))

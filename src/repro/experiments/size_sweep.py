@@ -9,23 +9,29 @@ active radio time without the initial idle listening.  The claims:
   completion time (the paper quotes ~30%).
 """
 
-from repro.experiments.active_radio import run_simulation_grid
 from repro.experiments.scale import current_scale
 from repro.metrics.reports import format_table
-from repro.sim.kernel import SECOND
 
 
 class SweepPoint:
     """Measurements for one program size."""
 
     def __init__(self, n_segments, run):
+        self._init_from_metrics(n_segments, run.summary_metrics())
+
+    def _init_from_metrics(self, n_segments, metrics):
         self.n_segments = n_segments
-        self.size_kb = run.deployment.image.size_bytes / 1024.0
-        self.completion_s = run.completion_time_ms / SECOND \
-            if run.completion_time_ms else None
-        self.art_s = run.average_active_radio_s()
-        art_ni = run.active_radio_no_initial_ms()
-        self.art_no_init_s = sum(art_ni.values()) / len(art_ni) / SECOND
+        self.size_kb = metrics["image_bytes"] / 1024.0
+        self.completion_s = metrics["completion_s"]
+        self.art_s = metrics["art_s"]
+        self.art_no_init_s = metrics["art_no_init_s"]
+
+    @classmethod
+    def from_metrics(cls, n_segments, metrics):
+        """Build a point from a runner metrics dict (no live run needed)."""
+        point = cls.__new__(cls)
+        point._init_from_metrics(n_segments, metrics)
+        return point
 
     @property
     def art_fraction(self):
@@ -34,15 +40,39 @@ class SweepPoint:
         return self.art_s / self.completion_s
 
 
-def run_sweep(sizes=None, seed=0, config=None):
-    """Run the Fig. 10 sweep; returns a list of SweepPoint."""
+def run_sweep(sizes=None, seed=0, config=None, workers=0, cache_dir=None,
+              progress=None):
+    """Run the Fig. 10 sweep; returns a list of SweepPoint.
+
+    ``workers >= 2`` fans the sizes out over the parallel runner
+    (:mod:`repro.runner`); ``cache_dir`` makes re-runs incremental.
+    """
+    from repro.runner import RunSpec, Runner
+
     sizes = sizes or current_scale().sweep_segments
-    points = []
-    for n_segments in sizes:
-        run = run_simulation_grid(n_segments=n_segments, seed=seed,
-                                  config=config)
-        points.append(SweepPoint(n_segments, run))
-    return points
+    scale = current_scale()
+    specs = [
+        RunSpec("grid", protocol="mnp", scale=scale.name, seed=seed,
+                n_segments=n_segments,
+                config=_config_overrides(config))
+        for n_segments in sizes
+    ]
+    per_run = Runner(workers=workers, cache_dir=cache_dir,
+                     progress=progress).run(specs)
+    return [
+        SweepPoint.from_metrics(n_segments, metrics)
+        for n_segments, metrics in zip(sizes, per_run)
+    ]
+
+
+def _config_overrides(config):
+    """An MNPConfig as a JSON-able override dict (None stays None)."""
+    if config is None:
+        return None
+    from repro.core.config import MNPConfig
+
+    defaults = vars(MNPConfig())
+    return {k: v for k, v in vars(config).items() if defaults.get(k) != v}
 
 
 def fig10_report(points):

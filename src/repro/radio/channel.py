@@ -30,7 +30,8 @@ MICA2_BITRATE_KBPS = 19.2
 
 
 class _Transmission:
-    __slots__ = ("src", "frame", "start", "end", "range_ft", "aborted")
+    __slots__ = ("src", "frame", "start", "end", "range_ft", "aborted",
+                 "receivers")
 
     def __init__(self, src, frame, start, end, range_ft):
         self.src = src
@@ -39,6 +40,9 @@ class _Transmission:
         self.end = end
         self.range_ft = range_ft
         self.aborted = False
+        # Node ids where a reception was opened for this frame; resolution
+        # only ever touches these (O(degree), not O(network size)).
+        self.receivers = []
 
 
 class _Reception:
@@ -177,6 +181,7 @@ class Channel:
                 other_src=next(iter(ongoing.values())).transmission.src,
             )
         ongoing[tx.src] = reception
+        tx.receivers.append(receiver.node_id)
         receiver.rx_began()
 
     def _finish_transmission(self, tx, on_done):
@@ -184,13 +189,16 @@ class Channel:
         sender = self._radios[tx.src]
         if not tx.aborted:
             sender.tx_finished(self.sim.now - tx.start)
-        # Resolve receptions.
-        for dst, ongoing in self._receptions.items():
-            reception = ongoing.pop(tx.src, None)
+        # Resolve receptions at the nodes this frame actually reached --
+        # never scan the whole network's reception tables.
+        for dst in tx.receivers:
+            ongoing = self._receptions[dst]
+            reception = ongoing.get(tx.src)
             if reception is None or reception.transmission is not tx:
-                if reception is not None:
-                    ongoing[tx.src] = reception  # different overlapping tx
+                # Dropped earlier (receiver turned off) or replaced by a
+                # later frame from the same source; nothing to resolve.
                 continue
+            del ongoing[tx.src]
             receiver = self._radios[dst]
             receiver.rx_ended()
             if tx.aborted:
@@ -201,7 +209,9 @@ class Channel:
             distance = self.topology.distance(tx.src, dst)
             ber = self.loss_model.ber(tx.src, dst, distance, tx.range_ft)
             success_p = (1.0 - ber) ** (8 * tx.frame.on_air_bytes)
-            if self._rng.random() <= success_p:
+            # Strict <: random() can return exactly 0.0, which must not
+            # deliver a frame whose success probability is zero.
+            if self._rng.random() < success_p:
                 self.sim.tracer.emit(
                     "radio.rx",
                     node=dst,
@@ -227,11 +237,16 @@ class Channel:
         if tx is not None:
             tx.aborted = True
             # Receivers hear the carrier vanish; close their rx intervals now.
-            for dst, ongoing in self._receptions.items():
-                reception = ongoing.pop(node, None)
+            for dst in tx.receivers:
+                ongoing = self._receptions[dst]
+                reception = ongoing.get(node)
                 if reception is not None and reception.transmission is tx:
+                    del ongoing[node]
                     self._radios[dst].rx_ended()
-                elif reception is not None:
-                    ongoing[node] = reception
-        # Frames this node was receiving are simply lost.
-        self._receptions[node].clear()
+        # Frames this node was receiving are lost -- close the rx interval
+        # accounting for each before dropping, or the radio's energy
+        # bookkeeping (Table 1 / Fig. 8) would leak an open rx interval.
+        own = self._receptions[node]
+        for _ in range(len(own)):
+            radio.rx_ended()
+        own.clear()

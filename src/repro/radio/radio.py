@@ -60,14 +60,18 @@ class Radio:
         in-progress transmission is aborted at the channel."""
         if not self.is_on:
             return
+        # Let the channel close out this node's in-flight receptions (one
+        # rx_ended per open reception) and abort any transmission *before*
+        # the local state is torn down, so time integrals stay exact.
+        if self.channel is not None:
+            self.channel.radio_went_off(self)
+        # Safety net for radios used without a channel attached.
         self._close_rx_interval()
         self._rx_count = 0
         self._on_ms += self.sim.now - self._on_since
         self._on_since = None
         self.is_on = False
         self.on_off_transitions += 1
-        if self.channel is not None:
-            self.channel.radio_went_off(self)
         self.transmitting = False
 
     # ------------------------------------------------------------------

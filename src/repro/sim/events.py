@@ -16,7 +16,7 @@ class Event:
     user code normally only keeps a reference in order to :meth:`cancel` it.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
 
     def __init__(self, time, seq, fn, args):
         self.time = time
@@ -24,10 +24,13 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
 
     def cancel(self):
-        """Mark the event so the queue skips it; cancelling twice is a no-op."""
-        self.cancelled = True
+        """Mark the event so the queue skips it; cancelling twice, or
+        cancelling an event that has already fired, is a no-op."""
+        if not self.fired:
+            self.cancelled = True
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -64,6 +67,7 @@ class EventQueue:
             if event.cancelled:
                 continue
             self._live -= 1
+            event.fired = True
             return event
         return None
 
@@ -80,5 +84,10 @@ class EventQueue:
         return self._live > 0
 
     def notice_cancel(self):
-        """Account for an externally cancelled event (kept internal to kernel)."""
+        """Account for an externally cancelled event (kept internal to kernel).
+
+        Must only be called for events that were live when cancelled; the
+        kernel's :meth:`repro.sim.kernel.Simulator.cancel` guards against
+        already-fired and already-cancelled events.
+        """
         self._live -= 1

@@ -55,8 +55,13 @@ class Simulator:
         return self.queue.push(time, fn, args)
 
     def cancel(self, event):
-        """Cancel a previously scheduled event; idempotent."""
-        if event is not None and not event.cancelled:
+        """Cancel a previously scheduled event; idempotent.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a true no-op: the queue's live count only ever accounts for
+        events that were actually pending.
+        """
+        if event is not None and not event.cancelled and not event.fired:
             event.cancel()
             self.queue.notice_cancel()
 

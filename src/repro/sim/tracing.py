@@ -34,6 +34,11 @@ class Tracer:
     def __init__(self, sim):
         self._sim = sim
         self._subscribers = []
+        # category -> tuple of subscriber fns, in subscription order,
+        # built lazily on first emit of each category.  Unwatched
+        # categories map to an empty tuple, so emitting them costs one
+        # dict lookup and no record construction.
+        self._index = {}
         self.enabled = True
 
     def subscribe(self, fn, categories=None):
@@ -41,19 +46,33 @@ class Tracer:
         if categories is not None:
             categories = frozenset(categories)
         self._subscribers.append((fn, categories))
+        self._index.clear()
         return fn
 
     def unsubscribe(self, fn):
         self._subscribers = [(f, c) for f, c in self._subscribers if f is not fn]
+        self._index.clear()
+
+    def _fns_for(self, category):
+        fns = tuple(
+            fn for fn, categories in self._subscribers
+            if categories is None or category in categories
+        )
+        self._index[category] = fns
+        return fns
 
     def emit(self, category, **fields):
         """Publish a record stamped with the current virtual time."""
-        if not self.enabled or not self._subscribers:
+        if not self.enabled:
+            return
+        fns = self._index.get(category)
+        if fns is None:
+            fns = self._fns_for(category)
+        if not fns:
             return
         record = TraceRecord(self._sim.now, category, fields)
-        for fn, categories in self._subscribers:
-            if categories is None or category in categories:
-                fn(record)
+        for fn in fns:
+            fn(record)
 
     def print_to(self, stream, categories=None):
         """Convenience: subscribe a printer writing one line per record."""
