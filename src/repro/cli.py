@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows:
+Five commands cover the common workflows:
 
 * ``run``     -- disseminate an image over a grid and print the summary
                  metrics (any protocol);
@@ -10,7 +10,10 @@ Four commands cover the common workflows:
                  the Section 5-style comparison table;
 * ``sweep``   -- replicate a run across seeds on a parallel, cached
                  worker fleet (see :mod:`repro.runner`) and print
-                 per-seed metrics plus aggregates.
+                 per-seed metrics plus aggregates;
+* ``profile`` -- run the hot-path profiling workloads
+                 (:mod:`repro.profiling`) and report events/sec,
+                 wall-clock, and channel counters (text or JSON).
 
 Examples::
 
@@ -18,6 +21,7 @@ Examples::
     python -m repro figure fig8
     python -m repro compare mnp deluge xnp --grid 8x8
     python -m repro sweep --seeds 0-9 --workers 4 --grid 6x6
+    python -m repro profile --grid 20x20 --json
 """
 
 import argparse
@@ -137,6 +141,26 @@ def _build_parser():
                        help="emit per-seed metrics as JSON")
     swp_p.add_argument("--quiet", action="store_true",
                        help="suppress progress/heartbeat lines")
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile hot-path events/sec (saturation + dissemination)")
+    prof_p.add_argument("--grid", type=_parse_grid, default=(20, 20),
+                        metavar="RxC", help="grid shape (default 20x20)")
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--workloads", default="saturation,dissemination",
+                        help="comma list of workloads (default both)")
+    prof_p.add_argument("--frames", type=int, default=None,
+                        help="saturation: frames per node (default 96)")
+    prof_p.add_argument("--range", type=float, default=None, dest="range_ft",
+                        help="radio range in feet (default 13)")
+    prof_p.add_argument("--segment-packets", type=int, default=None,
+                        help="dissemination: packets per segment "
+                             "(default 32)")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+    prof_p.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH")
     return parser
 
 
@@ -276,6 +300,43 @@ def _cmd_sweep(args, out):
             f"{runner.stats.misses} miss(es) "
             f"({runner.stats.elapsed_s:.1f}s total)\n"
         )
+    return 0
+
+
+def _cmd_profile(args, out):
+    import json
+
+    from repro.profiling import WORKLOADS, render_profile, run_profile
+
+    rows, cols = args.grid
+    workloads = tuple(
+        name.strip() for name in args.workloads.split(",") if name.strip()
+    )
+    unknown = [name for name in workloads if name not in WORKLOADS]
+    if unknown or not workloads:
+        sys.stderr.write(
+            f"repro profile: error: unknown workload(s) "
+            f"{', '.join(unknown) or '(none given)'}; "
+            f"known: {', '.join(sorted(WORKLOADS))}\n"
+        )
+        return 2
+    overrides = {}
+    if args.frames is not None:
+        overrides["frames_per_node"] = args.frames
+    if args.range_ft is not None:
+        overrides["range_ft"] = args.range_ft
+    if args.segment_packets is not None:
+        overrides["segment_packets"] = args.segment_packets
+    report = run_profile(workloads=workloads, rows=rows, cols=cols,
+                         seed=args.seed, **overrides)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        out.write(json.dumps(report, indent=2) + "\n")
+    else:
+        out.write(render_profile(report) + "\n")
     return 0
 
 
@@ -423,6 +484,8 @@ def main(argv=None, out=None):
         return _cmd_compare(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
     return 2
 
 

@@ -50,8 +50,9 @@ def _point_metrics(protocol, spacing_ft, run, topo):
     """Reduce one density run to its JSON-ready point metrics."""
     metrics = run.summary_metrics()
     hops = hop_counts(topo, RANGE_FT, run.deployment.base_id)
+    index = topo.grid_index(RANGE_FT)
     neighborhood = [
-        len(topo.nodes_within(n, RANGE_FT)) for n in topo.node_ids()
+        len(index.nodes_within(n, RANGE_FT)) for n in topo.node_ids()
     ]
     metrics.update({
         "protocol": protocol,

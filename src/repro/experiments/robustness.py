@@ -118,11 +118,12 @@ def _survivors_connected(topology, base_id, victims):
 def _reachable_excluding(topology, source, excluded):
     from collections import deque
 
+    index = topology.grid_index(RANGE_FT)
     seen = {source}
     frontier = deque([source])
     while frontier:
         node = frontier.popleft()
-        for neighbor in topology.nodes_within(node, RANGE_FT):
+        for neighbor in index.nodes_within(node, RANGE_FT):
             if neighbor in excluded or neighbor in seen:
                 continue
             seen.add(neighbor)

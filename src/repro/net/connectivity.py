@@ -11,9 +11,20 @@ from collections import deque
 
 
 def adjacency(topology, range_ft):
-    """Adjacency lists under a fixed communication range (symmetric)."""
+    """Adjacency lists under a fixed communication range (symmetric).
+
+    Served by the topology's uniform-grid index: one bucket build, then
+    O(neighborhood) per node, so the full map costs O(n * degree)
+    instead of the linear scan's O(n^2).
+    """
+    if range_ft <= 0:
+        return {
+            node: topology.nodes_within(node, range_ft)
+            for node in topology.node_ids()
+        }
+    index = topology.grid_index(range_ft)
     return {
-        node: topology.nodes_within(node, range_ft)
+        node: index.nodes_within(node, range_ft)
         for node in topology.node_ids()
     }
 

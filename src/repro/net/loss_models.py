@@ -11,6 +11,14 @@ log-normal variation.
 A model maps ``(src, dst, distance, range)`` to a *bit error rate*; the
 channel converts BER to packet reception probability as
 ``(1 - ber) ** (8 * frame_bytes)``.
+
+Every model declares ``is_time_varying``: False means ``ber`` is a pure
+function of ``(src, dst, distance, range)`` for the lifetime of a run, so
+the channel may cache per-edge link budgets (see
+:class:`repro.radio.channel.Channel`); True (e.g.
+:class:`IntermittentLossModel`, whose answer depends on the simulation
+clock) forces re-evaluation on every frame.  New models without the
+attribute are conservatively treated as time-varying.
 """
 
 import math
@@ -22,12 +30,16 @@ class PerfectLossModel:
     """Zero bit errors inside the communication range (collisions still
     destroy packets).  Useful for unit tests and protocol debugging."""
 
+    is_time_varying = False
+
     def ber(self, src, dst, distance_ft, range_ft):
         return 0.0
 
 
 class UniformLossModel:
     """A constant BER on every edge regardless of distance."""
+
+    is_time_varying = False
 
     def __init__(self, ber):
         if not 0.0 <= ber < 1.0:
@@ -68,6 +80,8 @@ class TabulatedLossModel:
     the nominal power-level range only gates *audibility*; link quality
     follows the table.
     """
+
+    is_time_varying = False
 
     def __init__(self, table=MICA2_PRR_TABLE, reference_frame_bytes=45,
                  seed=0, sigma=0.0):
@@ -125,6 +139,8 @@ class IntermittentLossModel:
     with the deployment's :class:`~repro.sim.kernel.Simulator`.
     """
 
+    is_time_varying = True  # BER depends on the simulation clock
+
     def __init__(self, sim, base_model, outages, nodes=None):
         """``outages`` is an iterable of ``(start_ms, end_ms)`` windows;
         ``nodes`` (optional) restricts the blackout to links whose source
@@ -174,6 +190,8 @@ class EmpiricalLossModel:
     sigma:
         Log-normal sigma of the per-edge factor (0 disables variation).
     """
+
+    is_time_varying = False
 
     def __init__(self, seed=0, near_ber=1e-5, far_ber=5e-3, grey_start=0.6, sigma=0.6):
         if not 0 <= grey_start < 1:

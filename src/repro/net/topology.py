@@ -2,9 +2,73 @@
 
 Distances are in feet to match the paper's reporting (4 ft inter-node
 spacing in the mote experiments, 10 ft in the TOSSIM simulations).
+
+Range queries (``nodes_within``) are served by a uniform-grid bucket
+index built lazily per query-radius class, so neighborhood lookups cost
+O(neighborhood) instead of O(network size); the linear reference scan is
+kept as ``nodes_within_linear`` and both paths return identical lists
+(same ids, same ascending order), so routing callers through the index
+never perturbs RNG draw order or metrics.
 """
 
 import math
+
+
+class GridIndex:
+    """Uniform-grid spatial bucket index over a fixed set of positions.
+
+    The cell size equals the query radius class, so a radius query
+    inspects at most a 3x3 block of cells around the query point.
+    Positions must not change after construction
+    (:meth:`Topology.grid_index` caches instances per cell size).
+    """
+
+    __slots__ = ("cell_ft", "_positions", "_buckets")
+
+    def __init__(self, positions, cell_ft):
+        if cell_ft <= 0:
+            raise ValueError(f"cell size must be positive, got {cell_ft}")
+        self.cell_ft = cell_ft
+        self._positions = positions
+        buckets = {}
+        for i, (x, y) in enumerate(positions):
+            key = (int(x // cell_ft), int(y // cell_ft))
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = bucket = []
+            bucket.append(i)
+        self._buckets = buckets
+
+    def nodes_within(self, i, radius_ft):
+        """Ids of all nodes other than ``i`` at distance <= ``radius_ft``.
+
+        Uses the exact same distance predicate (``math.hypot(...) <=
+        radius``) as the linear scan and sorts the result, so the returned
+        list is identical -- same ids, same ascending order.
+        """
+        positions = self._positions
+        x, y = positions[i]
+        cell = self.cell_ft
+        buckets = self._buckets
+        cx_lo = int((x - radius_ft) // cell)
+        cx_hi = int((x + radius_ft) // cell)
+        cy_lo = int((y - radius_ft) // cell)
+        cy_hi = int((y + radius_ft) // cell)
+        hypot = math.hypot
+        out = []
+        for cx in range(cx_lo, cx_hi + 1):
+            for cy in range(cy_lo, cy_hi + 1):
+                bucket = buckets.get((cx, cy))
+                if bucket is None:
+                    continue
+                for j in bucket:
+                    if j == i:
+                        continue
+                    px, py = positions[j]
+                    if hypot(px - x, py - y) <= radius_ft:
+                        out.append(j)
+        out.sort()
+        return out
 
 
 class Topology:
@@ -19,6 +83,8 @@ class Topology:
         self.positions = list(positions)
         if not self.positions:
             raise ValueError("topology must contain at least one node")
+        # radius class -> GridIndex, built lazily on first query.
+        self._grid_indices = {}
 
     # ------------------------------------------------------------------
     # Constructors for the paper's layouts
@@ -61,8 +127,29 @@ class Topology:
         (xi, yi), (xj, yj) = self.positions[i], self.positions[j]
         return math.hypot(xi - xj, yi - yj)
 
+    def grid_index(self, cell_ft):
+        """The :class:`GridIndex` for this cell size (built lazily, then
+        cached; positions must not be mutated afterwards)."""
+        index = self._grid_indices.get(cell_ft)
+        if index is None:
+            index = GridIndex(self.positions, cell_ft)
+            self._grid_indices[cell_ft] = index
+        return index
+
     def nodes_within(self, i, radius_ft):
-        """Ids of all nodes other than ``i`` at distance <= ``radius_ft``."""
+        """Ids of all nodes other than ``i`` at distance <= ``radius_ft``,
+        in ascending id order.
+
+        Served by the uniform-grid index (O(neighborhood)); degenerate
+        radii fall back to the linear scan.  Both paths return identical
+        lists.
+        """
+        if radius_ft <= 0:
+            return self.nodes_within_linear(i, radius_ft)
+        return self.grid_index(radius_ft).nodes_within(i, radius_ft)
+
+    def nodes_within_linear(self, i, radius_ft):
+        """Reference O(n) scan (differential-tested against the index)."""
         return [
             j
             for j in self.node_ids()

@@ -22,7 +22,24 @@ responds to:
 Energy-relevant bookkeeping (tx/rx time, successful receptions, collision
 counts) is pushed into the radios; trace records are emitted for the
 metrics layer.
+
+Hot-path structure (all O(1) in network size, like TOSSIM's
+closest-point-of-approach optimization of per-bit simulation):
+
+* carrier sense reads a per-node *audible-carrier counter* maintained at
+  transmission start/finish/abort instead of scanning active
+  transmissions (``_carrier_busy_bruteforce`` keeps the reference scan
+  for differential tests);
+* per-directed-edge BER and per-``(edge, frame size)`` decode
+  probabilities are cached when the loss model is static
+  (``is_time_varying`` is False); set ``REPRO_NO_LINK_CACHE=1`` to force
+  the uncached path (both paths are bit-identical);
+* communication ranges are frozen per power level at first use, so the
+  neighbor cache can never silently go stale; call
+  :meth:`invalidate_neighbors` after reconfiguring propagation.
 """
+
+import os
 
 from repro.sim.rng import derive_rng
 
@@ -31,9 +48,9 @@ MICA2_BITRATE_KBPS = 19.2
 
 class _Transmission:
     __slots__ = ("src", "frame", "start", "end", "range_ft", "aborted",
-                 "receivers")
+                 "receivers", "listeners")
 
-    def __init__(self, src, frame, start, end, range_ft):
+    def __init__(self, src, frame, start, end, range_ft, listeners):
         self.src = src
         self.frame = frame
         self.start = start
@@ -43,6 +60,10 @@ class _Transmission:
         # Node ids where a reception was opened for this frame; resolution
         # only ever touches these (O(degree), not O(network size)).
         self.receivers = []
+        # Every node the carrier is audible at (the cached neighbor list;
+        # never mutated).  Carrier counters are incremented for each entry
+        # at start and released exactly once on finish or abort.
+        self.listeners = listeners
 
 
 class _Reception:
@@ -67,18 +88,76 @@ class Channel:
     ):
         self.sim = sim
         self.topology = topology
-        self.loss_model = loss_model
         self.propagation = propagation
         self.bitrate_kbps = bitrate_kbps
         self._rng = derive_rng(seed, "channel")
         self._radios = {}
         self._neighbor_cache = {}
+        # Power level -> range_ft pinned at first use (stale-cache guard).
+        self._frozen_range = {}
         self._active = {}  # src node id -> _Transmission
         self._receptions = {}  # dst node id -> {src id: _Reception}
+        # node id -> number of foreign transmissions currently audible
+        # there (pre-populated with zeros so the hot paths use plain
+        # indexing).  This is what carrier_busy reads.
+        self._carrier = {nid: 0 for nid in topology.node_ids()}
+        # Static link budgets (see the loss_model property).
+        self._ber_cache = {}  # (src, dst, range_ft) -> BER
+        self._decode_cache = {}  # (src, dst, range_ft, bytes) -> P(decode)
+        self.loss_model = loss_model
         # Aggregate counters (for figures and tests)
         self.transmissions = 0
         self.collisions = 0
         self.bit_error_losses = 0
+        # Hot-path counters (for the profiling harness)
+        self.carrier_polls = 0
+        self.link_cache_hits = 0
+        self.link_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Loss model / link cache
+    # ------------------------------------------------------------------
+    @property
+    def loss_model(self):
+        return self._loss_model
+
+    @loss_model.setter
+    def loss_model(self, model):
+        """Swap the loss model; link budgets are recomputed lazily.
+
+        Caching is enabled only for static models
+        (``model.is_time_varying`` is False); a model without the
+        attribute is conservatively treated as time-varying.
+        """
+        self._loss_model = model
+        self._ber_cache.clear()
+        self._decode_cache.clear()
+        self._link_cache_enabled = (
+            not getattr(model, "is_time_varying", True)
+            and os.environ.get("REPRO_NO_LINK_CACHE") != "1"
+        )
+
+    @property
+    def link_cache_enabled(self):
+        """Whether per-edge link budgets are being cached."""
+        return self._link_cache_enabled
+
+    def _decode_probability(self, src, dst, range_ft, on_air_bytes):
+        """P(frame decodes) on the directed edge -- identical math on the
+        cached and uncached paths, so metrics are bit-identical."""
+        if self._link_cache_enabled:
+            key = (src, dst, range_ft)
+            ber = self._ber_cache.get(key)
+            if ber is None:
+                ber = self._loss_model.ber(
+                    src, dst, self.topology.distance(src, dst), range_ft
+                )
+                self._ber_cache[key] = ber
+        else:
+            ber = self._loss_model.ber(
+                src, dst, self.topology.distance(src, dst), range_ft
+            )
+        return (1.0 - ber) ** (8 * on_air_bytes)
 
     # ------------------------------------------------------------------
     # Setup
@@ -91,13 +170,47 @@ class Channel:
         radio.channel = self
         self._receptions.setdefault(radio.node_id, {})
 
+    def _range_for(self, power_level):
+        """Communication range at ``power_level``, frozen at first use.
+
+        The neighbor cache and carrier counters assume a power level maps
+        to one range for the lifetime of the channel, so the propagation
+        model is consulted exactly once per power level and the answer is
+        pinned.  (Pre-freeze, a propagation model whose ``range_ft``
+        drifted between calls silently de-synchronized the neighbor cache
+        from the ranges used for audibility.)  Reconfigure propagation
+        via :meth:`invalidate_neighbors`, which drops the pins.
+        """
+        range_ft = self._frozen_range.get(power_level)
+        if range_ft is None:
+            range_ft = self.propagation.range_ft(power_level)
+            self._frozen_range[power_level] = range_ft
+        return range_ft
+
+    def invalidate_neighbors(self):
+        """Drop cached neighbor lists, frozen ranges, and link budgets.
+
+        For tests and tools that reconfigure the propagation or loss
+        model between runs on the same channel.  Must not be called while
+        transmissions are in flight (their listener lists were computed
+        under the old ranges).
+        """
+        if self._active:
+            raise RuntimeError(
+                "cannot invalidate neighbor caches mid-transmission"
+            )
+        self._neighbor_cache.clear()
+        self._frozen_range.clear()
+        self._ber_cache.clear()
+        self._decode_cache.clear()
+
     def neighbors(self, node_id, power_level):
         """Nodes within range of ``node_id`` transmitting at ``power_level``
-        (cached; topology is static)."""
+        (cached; topology is static).  Callers must not mutate the list."""
         key = (node_id, power_level)
         cached = self._neighbor_cache.get(key)
         if cached is None:
-            range_ft = self.propagation.range_ft(power_level)
+            range_ft = self._range_for(power_level)
             cached = self.topology.nodes_within(node_id, range_ft)
             self._neighbor_cache[key] = cached
         return cached
@@ -110,7 +223,20 @@ class Channel:
     # ------------------------------------------------------------------
     def carrier_busy(self, node_id):
         """True if the node's own radio is transmitting or any active
-        transmission is audible at the node."""
+        transmission is audible at the node.  One dict lookup; the
+        counters are maintained by transmit/finish/abort."""
+        self.carrier_polls += 1
+        if self._radios[node_id].transmitting:
+            return True
+        return self._carrier[node_id] > 0
+
+    def _carrier_busy_bruteforce(self, node_id):
+        """Reference O(active transmissions) scan with distance math.
+
+        Kept as ground truth for the counter-based :meth:`carrier_busy`;
+        the two are differential-tested after every event in
+        ``tests/test_hotpath_differential.py``.
+        """
         radio = self._radios[node_id]
         if radio.transmitting:
             return True
@@ -120,6 +246,13 @@ class Channel:
             if self.topology.distance(src, node_id) <= tx.range_ft:
                 return True
         return False
+
+    def _release_carrier(self, tx):
+        """Decrement the audible-carrier counter at every listener;
+        called exactly once per transmission (finish or abort)."""
+        carrier = self._carrier
+        for dst in tx.listeners:
+            carrier[dst] -= 1
 
     # ------------------------------------------------------------------
     # Transmission
@@ -136,94 +269,139 @@ class Channel:
         if src in self._active:
             raise RuntimeError(f"node {src}: already transmitting")
         airtime = self.airtime_ms(frame)
-        range_ft = self.propagation.range_ft(radio.power_level)
-        tx = _Transmission(src, frame, self.sim.now, self.sim.now + airtime, range_ft)
+        range_ft = self._range_for(radio.power_level)
+        listeners = self.neighbors(src, radio.power_level)
+        tx = _Transmission(src, frame, self.sim.now, self.sim.now + airtime,
+                           range_ft, listeners)
         self._active[src] = tx
         radio.tx_started()
         self.transmissions += 1
-        self.sim.tracer.emit(
-            "radio.tx",
-            node=src,
-            kind=type(frame.payload).__name__,
-            bytes=frame.on_air_bytes,
-            power=radio.power_level,
-        )
-        # Begin reception at every audible, listening neighbor.
-        for dst in self.neighbors(src, radio.power_level):
-            receiver = self._radios.get(dst)
+        tracer = self.sim.tracer
+        if tracer.watches("radio.tx"):
+            tracer.emit(
+                "radio.tx",
+                node=src,
+                kind=type(frame.payload).__name__,
+                bytes=frame.on_air_bytes,
+                power=radio.power_level,
+            )
+        # The carrier becomes audible at every in-range node; reception
+        # additionally begins at the ones that are listening.  The
+        # reception-opening logic is inlined here (this is its only call
+        # site) -- the loop runs once per listener per frame.
+        carrier = self._carrier
+        radios = self._radios
+        receptions = self._receptions
+        coll_watched = tracer.watches("channel.collision")
+        receivers_append = tx.receivers.append
+        for dst in listeners:
+            carrier[dst] += 1
+            receiver = radios.get(dst)
             if receiver is None or not receiver.is_on or receiver.transmitting:
                 continue
-            self._begin_reception(receiver, tx)
+            ongoing = receptions[dst]
+            reception = _Reception(tx)
+            if ongoing:
+                # Overlap at this receiver corrupts everything in flight.
+                reception.corrupted = True
+                for other in ongoing.values():
+                    if not other.corrupted:
+                        other.corrupted = True
+                        self.collisions += 1
+                        if coll_watched:
+                            tracer.emit(
+                                "channel.collision",
+                                node=dst,
+                                src=other.transmission.src,
+                                other_src=src,
+                            )
+                self.collisions += 1
+                if coll_watched:
+                    tracer.emit(
+                        "channel.collision",
+                        node=dst,
+                        src=src,
+                        other_src=next(
+                            iter(ongoing.values())
+                        ).transmission.src,
+                    )
+            ongoing[src] = reception
+            receivers_append(dst)
+            receiver.rx_began()
         self.sim.schedule(airtime, self._finish_transmission, tx, on_done)
         return airtime
-
-    def _begin_reception(self, receiver, tx):
-        ongoing = self._receptions[receiver.node_id]
-        reception = _Reception(tx)
-        if ongoing:
-            # Overlap at this receiver corrupts everything in flight.
-            reception.corrupted = True
-            for other in ongoing.values():
-                if not other.corrupted:
-                    other.corrupted = True
-                    self.collisions += 1
-                    self.sim.tracer.emit(
-                        "channel.collision",
-                        node=receiver.node_id,
-                        src=other.transmission.src,
-                        other_src=tx.src,
-                    )
-            self.collisions += 1
-            self.sim.tracer.emit(
-                "channel.collision",
-                node=receiver.node_id,
-                src=tx.src,
-                other_src=next(iter(ongoing.values())).transmission.src,
-            )
-        ongoing[tx.src] = reception
-        tx.receivers.append(receiver.node_id)
-        receiver.rx_began()
 
     def _finish_transmission(self, tx, on_done):
         self._active.pop(tx.src, None)
         sender = self._radios[tx.src]
         if not tx.aborted:
+            # An aborted transmission already released its carrier in
+            # radio_went_off.
+            self._release_carrier(tx)
             sender.tx_finished(self.sim.now - tx.start)
         # Resolve receptions at the nodes this frame actually reached --
-        # never scan the whole network's reception tables.
+        # never scan the whole network's reception tables.  Per-frame
+        # invariants are hoisted out of the receiver loop.
+        src = tx.src
+        frame = tx.frame
+        range_ft = tx.range_ft
+        aborted = tx.aborted
+        frame_bytes = frame.on_air_bytes
+        kind = type(frame.payload).__name__
+        receptions = self._receptions
+        radios = self._radios
+        decode_cache = self._decode_cache
+        cache_enabled = self._link_cache_enabled
+        random = self._rng.random
+        tracer = self.sim.tracer
+        emit = tracer.emit
+        rx_watched = tracer.watches("radio.rx")
         for dst in tx.receivers:
-            ongoing = self._receptions[dst]
-            reception = ongoing.get(tx.src)
+            ongoing = receptions[dst]
+            reception = ongoing.get(src)
             if reception is None or reception.transmission is not tx:
                 # Dropped earlier (receiver turned off) or replaced by a
                 # later frame from the same source; nothing to resolve.
                 continue
-            del ongoing[tx.src]
-            receiver = self._radios[dst]
+            del ongoing[src]
+            receiver = radios[dst]
             receiver.rx_ended()
-            if tx.aborted:
+            if aborted:
                 continue
             if reception.corrupted:
                 receiver.frames_corrupted += 1
                 continue
-            distance = self.topology.distance(tx.src, dst)
-            ber = self.loss_model.ber(tx.src, dst, distance, tx.range_ft)
-            success_p = (1.0 - ber) ** (8 * tx.frame.on_air_bytes)
+            if cache_enabled:
+                key = (src, dst, range_ft, frame_bytes)
+                success_p = decode_cache.get(key)
+                if success_p is None:
+                    success_p = self._decode_probability(
+                        src, dst, range_ft, frame_bytes
+                    )
+                    decode_cache[key] = success_p
+                    self.link_cache_misses += 1
+                else:
+                    self.link_cache_hits += 1
+            else:
+                success_p = self._decode_probability(
+                    src, dst, range_ft, frame_bytes
+                )
             # Strict <: random() can return exactly 0.0, which must not
             # deliver a frame whose success probability is zero.
-            if self._rng.random() < success_p:
-                self.sim.tracer.emit(
-                    "radio.rx",
-                    node=dst,
-                    src=tx.src,
-                    kind=type(tx.frame.payload).__name__,
-                    bytes=tx.frame.on_air_bytes,
-                )
-                receiver.deliver(tx.frame)
+            if random() < success_p:
+                if rx_watched:
+                    emit(
+                        "radio.rx",
+                        node=dst,
+                        src=src,
+                        kind=kind,
+                        bytes=frame_bytes,
+                    )
+                receiver.deliver(frame)
             else:
                 receiver.frames_bit_errors += 1
                 self.bit_error_losses += 1
-        if on_done is not None and not tx.aborted:
+        if on_done is not None and not aborted:
             on_done()
 
     # ------------------------------------------------------------------
@@ -236,6 +414,8 @@ class Channel:
         tx = self._active.pop(node, None)
         if tx is not None:
             tx.aborted = True
+            # The carrier vanishes everywhere at once.
+            self._release_carrier(tx)
             # Receivers hear the carrier vanish; close their rx intervals now.
             for dst in tx.receivers:
                 ongoing = self._receptions[dst]

@@ -112,14 +112,16 @@ class CsmaMac:
 
     def _attempt(self):
         self._pending_event = None
-        if not self.radio.is_on or not self._queue:
+        radio = self.radio
+        if not radio.is_on or not self._queue:
             self._busy = False
             return
-        if self.channel.carrier_busy(self.radio.node_id):
+        if self.channel.carrier_busy(radio.node_id):
             self.congestion_backoffs += 1
+            config = self.config
             delay = self._rng.uniform(
-                self.config.congestion_backoff_min,
-                self.config.congestion_backoff_max,
+                config.congestion_backoff_min,
+                config.congestion_backoff_max,
             )
             self._pending_event = self.sim.schedule(delay, self._attempt)
             return

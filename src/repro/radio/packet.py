@@ -20,7 +20,8 @@ PHY_OVERHEAD_BYTES = 18
 class Frame:
     """One on-air frame."""
 
-    __slots__ = ("src", "dst", "payload", "payload_bytes", "sequence")
+    __slots__ = ("src", "dst", "payload", "payload_bytes", "on_air_bytes",
+                 "sequence")
 
     _sequence_counter = 0
 
@@ -31,13 +32,11 @@ class Frame:
         self.dst = dst
         self.payload = payload
         self.payload_bytes = payload_bytes
+        # Total bytes the radio actually clocks out for this frame.
+        # Precomputed: the channel reads it several times per reception.
+        self.on_air_bytes = payload_bytes + PHY_OVERHEAD_BYTES
         Frame._sequence_counter += 1
         self.sequence = Frame._sequence_counter
-
-    @property
-    def on_air_bytes(self):
-        """Total bytes the radio actually clocks out for this frame."""
-        return self.payload_bytes + PHY_OVERHEAD_BYTES
 
     def __repr__(self):
         kind = type(self.payload).__name__

@@ -76,8 +76,10 @@ def build_tdma_schedule(topology, interference_range_ft,
     receiver) get different slots, so simultaneous transmissions can
     never collide.
     """
+    # One grid-index build serves every interference query below.
+    index = topology.grid_index(interference_range_ft)
     neighbors = {
-        node: set(topology.nodes_within(node, interference_range_ft))
+        node: set(index.nodes_within(node, interference_range_ft))
         for node in topology.node_ids()
     }
     slots = {}

@@ -44,26 +44,30 @@ class Event:
 class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects.
 
-    Cancellation is lazy: cancelled events stay in the heap and are discarded
-    on pop, which keeps both operations O(log n).
+    The heap holds ``(time, seq, event)`` tuples rather than bare events:
+    ``seq`` is unique, so sift comparisons resolve on the first two
+    scalar fields at C speed and never fall back to a Python-level
+    ``Event.__lt__`` call -- heap maintenance is the kernel's single
+    hottest loop.  Cancellation is lazy: cancelled events stay in the
+    heap and are discarded on pop, which keeps both operations O(log n).
     """
 
     def __init__(self):
-        self._heap = []
+        self._heap = []  # (time, seq, Event) entries
         self._counter = itertools.count()
         self._live = 0
 
     def push(self, time, fn, args=()):
         """Insert a callback at absolute ``time``; returns the Event handle."""
         event = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
         self._live += 1
         return event
 
     def pop(self):
         """Remove and return the earliest non-cancelled event, or None."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -71,11 +75,35 @@ class EventQueue:
             return event
         return None
 
+    def pop_due(self, until=None):
+        """Pop the earliest live event due at or before ``until``.
+
+        Returns None when the earliest live event lies beyond ``until``
+        or the queue is empty.  This fuses peek + pop into a single heap
+        access for the kernel's inner loop.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and entry[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            event.fired = True
+            return event
+        return None
+
     def peek_time(self):
         """Time of the earliest live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def __len__(self):
         return self._live

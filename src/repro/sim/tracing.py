@@ -61,6 +61,20 @@ class Tracer:
         self._index[category] = fns
         return fns
 
+    def watches(self, category):
+        """True if emitting ``category`` would reach a subscriber.
+
+        Hot emitters guard with this before building the fields dict, so
+        unwatched categories cost one method call instead of a dict
+        construction plus an :meth:`emit` that drops it.
+        """
+        if not self.enabled:
+            return False
+        fns = self._index.get(category)
+        if fns is None:
+            fns = self._fns_for(category)
+        return bool(fns)
+
     def emit(self, category, **fields):
         """Publish a record stamped with the current virtual time."""
         if not self.enabled:
