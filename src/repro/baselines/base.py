@@ -9,6 +9,7 @@ precisely the behaviour the paper's energy comparison exploits.
 
 from repro.core.bitvector import BitVector
 from repro.core.mnp import ProgramInfo
+from repro.hardware.eeprom import EepromError
 from repro.hardware.energy import EnergyModel
 
 
@@ -75,12 +76,38 @@ class BaselineNode:
         return missing
 
     def store_packet(self, seg_id, packet_id, payload):
-        """Store a packet if new; returns True when it was new."""
+        """Store a packet if new; returns True when it was new.
+
+        Fault-tolerant: a corrupted out-of-range packet id is dropped,
+        and a flash write failure leaves the packet marked missing so
+        the protocol's normal loss recovery re-requests it.
+        """
+        if self.program is None or \
+                not 1 <= seg_id <= self.program.n_segments:
+            return False
         missing = self.missing_for(seg_id)
+        if not 0 <= packet_id < missing.n:
+            return False
         if not missing.test(packet_id):
             return False
-        self.mote.eeprom.write(self.flash_key(seg_id, packet_id), payload)
+        try:
+            self.mote.eeprom.write(self.flash_key(seg_id, packet_id), payload)
+        except EepromError:
+            return False
         missing.clear(packet_id)
+        return True
+
+    def send(self, msg):
+        """Broadcast ``msg`` unless the radio is down.
+
+        Baselines drive their transmit paths from raw simulator events
+        (e.g. Deluge's Trickle timer), which keep firing through an
+        injected crash or brownout; on real hardware those frames simply
+        never leave the antenna.  Returns True when the frame was sent.
+        """
+        if not self.mote.radio.is_on:
+            return False
+        self.mote.mac.send(msg, msg.wire_bytes())
         return True
 
     def segment_complete(self, seg_id):

@@ -137,7 +137,7 @@ class DelugeNode(BaselineNode):
             self.program.segment_packets, self.program.last_seg_packets,
             self.rvd_seg,
         )
-        self.mote.mac.send(summary, summary.wire_bytes())
+        self.send(summary)
 
     def _handle_summary(self, s):
         if self.program is None or s.program_id > self.program.program_id:
@@ -182,7 +182,7 @@ class DelugeNode(BaselineNode):
             self.node_id, self._request_dest, page,
             self.missing_for(page).copy(),
         )
-        self.mote.mac.send(request, request.wire_bytes())
+        self.send(request)
         self.role = self.RX
         self.parent = self._request_dest
         self.sim.tracer.emit(
@@ -201,7 +201,9 @@ class DelugeNode(BaselineNode):
     def _handle_request(self, req):
         if self.program is None:
             return
-        if req.dest_id == self.node_id and req.page <= self.rvd_seg:
+        if req.dest_id == self.node_id and 1 <= req.page <= self.rvd_seg:
+            if req.missing.n != self.program.n_packets(req.page):
+                return  # corrupted header: vector does not fit the page
             if self.role == self.TX:
                 if req.page == self._tx_page and \
                         req.missing.n == self._tx_vector.n:
@@ -240,7 +242,7 @@ class DelugeNode(BaselineNode):
             self.node_id, self._tx_page, packet_id,
             self.mote.eeprom.read(self.flash_key(self._tx_page, packet_id)),
         )
-        self.mote.mac.send(packet, packet.wire_bytes())
+        self.send(packet)
 
     def _on_send_done(self, payload):
         if isinstance(payload, DataPacket) and self.role == self.TX:

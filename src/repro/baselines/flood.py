@@ -70,7 +70,7 @@ class FloodNode(BaselineNode):
                 self.program.n_segments, self.program.segment_packets,
                 self.program.last_seg_packets,
             )
-            self.mote.mac.send(adv, adv.wire_bytes())
+            self.send(adv)
             if self._adv_left > 0:
                 self._tx_timer.start(self.config.adv_gap_ms)
             else:
@@ -91,7 +91,7 @@ class FloodNode(BaselineNode):
             self.node_id, seg_id, packet_id,
             self.mote.eeprom.read(self.flash_key(seg_id, packet_id)),
         )
-        self.mote.mac.send(packet, packet.wire_bytes())
+        self.send(packet)
 
     def _relay_adv(self):
         if self.program is None or not self.mote.radio.is_on:
@@ -100,7 +100,7 @@ class FloodNode(BaselineNode):
             self.node_id, self.program.program_id, self.program.n_segments,
             self.program.segment_packets, self.program.last_seg_packets,
         )
-        self.mote.mac.send(adv, adv.wire_bytes())
+        self.send(adv)
 
     def _on_send_done(self, payload):
         if isinstance(payload, DataPacket) and self._outbox \

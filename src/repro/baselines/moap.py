@@ -169,7 +169,7 @@ class MoapNode(BaselineNode):
             self.node_id, self.program.program_id, self.program.n_segments,
             self.program.segment_packets, self.program.last_seg_packets,
         )
-        self.mote.mac.send(publish, publish.wire_bytes())
+        self.send(publish)
         self._publishes_sent += 1
         self._schedule_publish()
 
@@ -192,7 +192,7 @@ class MoapNode(BaselineNode):
             return
         if self._stream_seg > self.program.n_segments:
             end = EndOfImage(self.node_id)
-            self.mote.mac.send(end, end.wire_bytes())
+            self.send(end)
             self.role = self.REPAIR
             self._repair_timer.start(4 * self.config.subscribe_backoff_ms
                                      + 20 * self._per_packet_ms())
@@ -207,7 +207,7 @@ class MoapNode(BaselineNode):
         if self._stream_pkt >= self.program.n_packets(self._stream_seg):
             self._stream_seg += 1
             self._stream_pkt = 0
-        self.mote.mac.send(packet, packet.wire_bytes())
+        self.send(packet)
 
     def _send_next_repair(self):
         if not self._repair_queue:
@@ -219,7 +219,7 @@ class MoapNode(BaselineNode):
             self.node_id, seg_id, packet_id,
             self.mote.eeprom.read(self.flash_key(seg_id, packet_id)),
         )
-        self.mote.mac.send(packet, packet.wire_bytes())
+        self.send(packet)
 
     def _on_repair_quiet(self):
         if self.role != self.REPAIR:
@@ -255,7 +255,7 @@ class MoapNode(BaselineNode):
         if self.role != self.LISTEN or self.parent is None:
             return
         sub = Subscribe(self.node_id, self.parent)
-        self.mote.mac.send(sub, sub.wire_bytes())
+        self.send(sub)
         self.sim.tracer.emit(
             "proto.parent", node=self.node_id, parent=self.parent
         )
@@ -307,7 +307,7 @@ class MoapNode(BaselineNode):
             return
         nak = Nak(self.node_id, self.parent, seg_id,
                   self.missing_for(seg_id).copy())
-        self.mote.mac.send(nak, nak.wire_bytes())
+        self.send(nak)
         self._nak_timer.start(2 * self.config.subscribe_backoff_ms
                               + 40 * self._per_packet_ms())
 
@@ -322,6 +322,10 @@ class MoapNode(BaselineNode):
     def _handle_nak(self, nak):
         if nak.dest_id != self.node_id or self.role != self.REPAIR:
             return
+        if not 1 <= nak.seg_id <= self.rvd_seg:
+            return  # corrupted header, or a segment we cannot serve
+        if nak.missing.n != self.program.n_packets(nak.seg_id):
+            return  # corrupted header: vector does not fit the segment
         idle = not self._repair_queue
         self._repair_timer.stop()
         for packet_id in nak.missing.iter_set():

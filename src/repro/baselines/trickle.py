@@ -37,6 +37,11 @@ class TrickleTimer:
 
     # ------------------------------------------------------------------
     def start(self):
+        """(Re)start from tau_low.  Idempotent: any pending interval is
+        cancelled first, so a node rebooting after a crash does not end
+        up driven by two concurrent interval chains."""
+        self.sim.cancel(self._interval_event)
+        self.sim.cancel(self._fire_event)
         self._running = True
         self.tau = self.tau_low_ms
         self._begin_interval()

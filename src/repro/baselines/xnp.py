@@ -117,7 +117,7 @@ class XnpNode(BaselineNode):
                     self.program.n_segments, self.program.segment_packets,
                     self.program.last_seg_packets,
                 )
-                self.mote.mac.send(adv, adv.wire_bytes())
+                self.send(adv)
                 self._timer.start(self.config.adv_gap_ms)
             else:
                 self._phase = "stream"
@@ -152,12 +152,12 @@ class XnpNode(BaselineNode):
             self.node_id, seg_id, packet_id,
             self.mote.eeprom.read(self.flash_key(seg_id, packet_id)),
         )
-        self.mote.mac.send(packet, packet.wire_bytes())
+        self.send(packet)
 
     def _send_query(self):
         self._query_rounds_left -= 1
         query = XnpQuery(self.node_id)
-        self.mote.mac.send(query, query.wire_bytes())
+        self.send(query)
         self._phase = "quiet"
         self._timer.start(3 * self.config.nak_backoff_ms)
 
@@ -202,13 +202,17 @@ class XnpNode(BaselineNode):
             return
         seg_id = self._nak_queue.pop(0)
         nak = XnpNak(self.node_id, seg_id, self.missing_for(seg_id).copy())
-        self.mote.mac.send(nak, nak.wire_bytes())
+        self.send(nak)
         if self._nak_queue:
             self._nak_timer.start(self.config.nak_backoff_ms)
 
     def _handle_nak(self, nak):
         if not self.is_base or self._phase not in ("quiet", "stream"):
             return
+        if not 1 <= nak.seg_id <= self.program.n_segments:
+            return  # corrupted header that survived the link CRC
+        if nak.missing.n != self.program.n_packets(nak.seg_id):
+            return  # corrupted header: vector does not fit the segment
         for packet_id in nak.missing.iter_set():
             pair = (nak.seg_id, packet_id)
             if pair not in self._stream:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows:
+Six commands cover the common workflows:
 
 * ``run``     -- disseminate an image over a grid and print the summary
                  metrics (any protocol);
@@ -11,6 +11,10 @@ Five commands cover the common workflows:
 * ``sweep``   -- replicate a run across seeds on a parallel, cached
                  worker fleet (see :mod:`repro.runner`) and print
                  per-seed metrics plus aggregates;
+* ``chaos``   -- disseminate under injected faults (:mod:`repro.faults`)
+                 across a protocol x fault-class matrix, with the
+                 invariant watchdog attached; cached and parallel like
+                 ``sweep``;
 * ``profile`` -- run the hot-path profiling workloads
                  (:mod:`repro.profiling`) and report events/sec,
                  wall-clock, and channel counters (text or JSON).
@@ -21,6 +25,7 @@ Examples::
     python -m repro figure fig8
     python -m repro compare mnp deluge xnp --grid 8x8
     python -m repro sweep --seeds 0-9 --workers 4 --grid 6x6
+    python -m repro chaos --protocols mnp,deluge --intensity 0.6 --workers 4
     python -m repro profile --grid 20x20 --json
 """
 
@@ -140,6 +145,36 @@ def _build_parser():
     swp_p.add_argument("--json", action="store_true",
                        help="emit per-seed metrics as JSON")
     swp_p.add_argument("--quiet", action="store_true",
+                       help="suppress progress/heartbeat lines")
+
+    cha_p = sub.add_parser(
+        "chaos",
+        help="disseminate under injected faults, with invariant watchdog")
+    cha_p.add_argument("--protocols", default="mnp,deluge",
+                       help="comma list of protocols (default mnp,deluge)")
+    cha_p.add_argument("--fault-classes", default=None, dest="fault_classes",
+                       help="comma list of fault classes "
+                            "(default: all of crash,eeprom,link)")
+    cha_p.add_argument("--intensity", type=float, default=0.5,
+                       help="fault intensity in [0,1] (default 0.5)")
+    cha_p.add_argument("--grid", type=_parse_grid, default=(6, 6),
+                       metavar="RxC", help="grid shape (default 6x6)")
+    cha_p.add_argument("--segments", type=int, default=2,
+                       help="program size in segments (default 2)")
+    cha_p.add_argument("--segment-packets", type=int, default=32,
+                       help="packets per segment (default 32)")
+    cha_p.add_argument("--seed", type=int, default=0)
+    cha_p.add_argument("--deadline-min", type=float, default=240.0,
+                       help="simulated deadline in minutes (default 240)")
+    cha_p.add_argument("--workers", type=int, default=0,
+                       help="worker processes; 0/1 = serial (default 0)")
+    cha_p.add_argument("--cache-dir", default="benchmarks/cache",
+                       help="manifest directory (default benchmarks/cache)")
+    cha_p.add_argument("--no-cache", action="store_true",
+                       help="always re-simulate; write nothing")
+    cha_p.add_argument("--json", action="store_true",
+                       help="emit the full matrix as JSON")
+    cha_p.add_argument("--quiet", action="store_true",
                        help="suppress progress/heartbeat lines")
 
     prof_p = sub.add_parser(
@@ -301,6 +336,100 @@ def _cmd_sweep(args, out):
             f"({runner.stats.elapsed_s:.1f}s total)\n"
         )
     return 0
+
+
+def _cmd_chaos(args, out):
+    import sys as _sys
+
+    from repro.experiments.chaos import FAULT_CLASSES
+    from repro.metrics.reports import format_table
+    from repro.runner import RunSpec, Runner
+
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    classes = (
+        [c.strip() for c in args.fault_classes.split(",") if c.strip()]
+        if args.fault_classes else list(FAULT_CLASSES)
+    )
+    unknown = [c for c in classes if c not in FAULT_CLASSES]
+    if unknown or not classes or not protocols:
+        _sys.stderr.write(
+            f"repro chaos: error: unknown fault class(es) "
+            f"{', '.join(unknown) or '(none given)'}; "
+            f"known: {', '.join(FAULT_CLASSES)}\n"
+        )
+        return 2
+    rows, cols = args.grid
+    specs = [
+        RunSpec(
+            "chaos", protocol=protocol, seed=args.seed,
+            fault_class=fault_class, intensity=args.intensity,
+            rows=rows, cols=cols, n_segments=args.segments,
+            segment_packets=args.segment_packets,
+            deadline_min=args.deadline_min,
+        )
+        for protocol in protocols
+        for fault_class in classes
+    ]
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=_sys.stderr, flush=True))
+    runner = Runner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+    )
+    results = runner.run(specs)
+    violating = sum(
+        1 for m in results if m["watchdog"]["violations"]
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "intensity": args.intensity,
+            "grid": f"{rows}x{cols}",
+            "seed": args.seed,
+            "runs": [
+                {"protocol": spec.protocol,
+                 "fault_class": spec.overrides["fault_class"],
+                 "key": spec.cache_key(),
+                 "metrics": metrics}
+                for spec, metrics in zip(specs, results)
+            ],
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 1 if violating else 0
+    table_rows = []
+    for spec, m in zip(specs, results):
+        wd = m["watchdog"]
+        if wd["violations"]:
+            verdict = f"VIOLATED({len(wd['violations'])})"
+        elif wd["stalls"]:
+            verdict = f"stalled({len(wd['stalls'])})"
+        else:
+            verdict = "ok"
+        if wd["warnings"]:
+            verdict += f" +{len(wd['warnings'])}w"
+        table_rows.append([
+            spec.protocol, spec.overrides["fault_class"],
+            f"{m['survivor_coverage']:.0%}",
+            "-" if m["completion_s"] is None
+            else f"{m['completion_s']:.1f}",
+            m["fails"], m["corrupt_images"], m["messages_sent"], verdict,
+        ])
+    out.write(format_table(
+        ["protocol", "fault", "coverage", "completion_s", "fails",
+         "corrupt", "messages", "watchdog"],
+        table_rows,
+        title=(f"Chaos: {rows}x{cols} grid, intensity {args.intensity}, "
+               f"seed {args.seed}"),
+    ) + "\n")
+    out.write(
+        "  coverage/completion are over *surviving* nodes; 'w' counts\n"
+        "  advisory warnings (concurrent senders) that do not fail a run\n"
+    )
+    if violating:
+        out.write(f"  {violating} run(s) breached protocol invariants\n")
+    return 1 if violating else 0
 
 
 def _cmd_profile(args, out):
@@ -484,6 +613,8 @@ def main(argv=None, out=None):
         return _cmd_compare(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
     return 2

@@ -75,6 +75,16 @@ class MNPConfig:
     auto_reboot:
         §3.5: reboot as soon as the image completes instead of waiting for
         the external start signal.
+    fail_backoff_base_ms / fail_backoff_factor / fail_backoff_max_ms:
+        Bounded exponential backoff (with jitter) added to the download
+        *request* delay after consecutive FAIL -> IDLE cycles, so a node
+        cut off from every serviceable sender (a partition, a dead
+        parent) does not hammer the channel with doomed requests forever.
+        After ``k`` consecutive fails the extra delay is
+        ``min(base * factor**(k-1), max) * U[0.5, 1.5]``; a completed
+        segment resets the streak.  The default base of 0 disables the
+        mechanism entirely, matching pre-fault-layer behavior exactly
+        (no extra delay *and* no extra RNG draws).
     """
 
     def __init__(
@@ -98,6 +108,9 @@ class MNPConfig:
         forward_vector=True,
         battery_aware_power=False,
         auto_reboot=False,
+        fail_backoff_base_ms=0.0,
+        fail_backoff_factor=2.0,
+        fail_backoff_max_ms=60_000.0,
     ):
         if advertise_count < 1:
             raise ValueError("advertise_count must be >= 1")
@@ -115,6 +128,12 @@ class MNPConfig:
             raise ValueError("download_timeout_factor must be positive")
         if repair_rounds < 0:
             raise ValueError("repair_rounds must be non-negative")
+        if fail_backoff_base_ms < 0:
+            raise ValueError("fail_backoff_base_ms must be non-negative")
+        if fail_backoff_factor < 1.0:
+            raise ValueError("fail_backoff_factor must be >= 1")
+        if fail_backoff_max_ms < fail_backoff_base_ms:
+            raise ValueError("fail_backoff_max_ms must be >= fail_backoff_base_ms")
         if large_segments and pipelining:
             raise ValueError(
                 "large_segments requires pipelining=False (the paper uses "
@@ -140,6 +159,9 @@ class MNPConfig:
         self.forward_vector = forward_vector
         self.battery_aware_power = battery_aware_power
         self.auto_reboot = auto_reboot
+        self.fail_backoff_base_ms = fail_backoff_base_ms
+        self.fail_backoff_factor = fail_backoff_factor
+        self.fail_backoff_max_ms = fail_backoff_max_ms
 
     def replace(self, **overrides):
         """A copy with the given fields changed (for ablation sweeps)."""
@@ -165,6 +187,9 @@ class MNPConfig:
                 "forward_vector",
                 "battery_aware_power",
                 "auto_reboot",
+                "fail_backoff_base_ms",
+                "fail_backoff_factor",
+                "fail_backoff_max_ms",
             )
         }
         unknown = set(overrides) - set(fields)

@@ -48,6 +48,7 @@ from repro.core.messages import (
 from repro.core.sender_selection import loses_to, preempted_by_lower_segment
 from repro.core.states import MNPState, is_allowed
 from repro.hardware.bootloader import InstallResult
+from repro.hardware.eeprom import EepromError
 from repro.hardware.energy import EnergyModel
 from repro.radio.propagation import FULL_POWER, MIN_POWER
 
@@ -181,6 +182,9 @@ class MNPNode:
         self.sender_rounds = 0
         self.fails = 0
         self.heard_first_adv = False
+        # Consecutive FAIL -> IDLE cycles since the last completed
+        # segment; drives the request backoff (MNPConfig.fail_backoff_*).
+        self._fail_streak = 0
 
         mote.mac.on_receive = self._on_frame
         mote.mac.on_send_done = self._on_send_done
@@ -270,6 +274,30 @@ class MNPNode:
         self.mote.wake_radio()
         self._adv_interval = self.config.adv_interval_ms
         self._enter_advertise()
+
+    def power_cycle(self):
+        """Restart after a crash (fault layer): cold-boot the protocol.
+
+        Volatile state -- timers, parent, requester bookkeeping -- is
+        lost; the received-segment ledger (``rvd_seg``/``_seg_missing``)
+        survives, because on real hardware it is recoverable from EEPROM
+        (§3.3 large-segment mode literally keeps the missing bitmap in
+        flash).  Like :meth:`load_image`, this is an out-of-band reset,
+        not a Fig. 4 transition.
+        """
+        self._stop_all_timers()
+        if self.state != MNPState.IDLE:
+            self.state_changes.append(
+                (self.sim.now, self.state, MNPState.IDLE)
+            )
+            self.state = MNPState.IDLE
+        self.parent = None
+        self._request_dest = None
+        self.req_ctr = 0
+        self._requesters.clear()
+        self._fail_streak = 0
+        self._adv_interval = self.config.adv_interval_ms
+        self.start()
 
     def assemble_image(self):
         """Read the received image back out of EEPROM (None if incomplete).
@@ -397,6 +425,11 @@ class MNPNode:
     def _on_adv_timer(self):
         if self.state != MNPState.ADVERTISE or self._napping:
             return
+        if not self.mote.radio.is_on:
+            # A fault (brownout) took the radio down outside our own nap
+            # accounting; skip this beat and try again next interval.
+            self._schedule_adv()
+            return
         if self._adverts_sent >= self.config.advertise_count:
             # End of an advertising round: become a sender, or slow down.
             if self.req_ctr > 0:
@@ -513,6 +546,11 @@ class MNPNode:
     def _send_next_data(self):
         if self.state not in (MNPState.FORWARD, MNPState.QUERY):
             return
+        if not self.mote.radio.is_on:
+            # Brownout mid-stream: keep the pacing timer alive so the
+            # stream resumes where it left off once the radio returns.
+            self._fwd_timer.start(self.config.data_gap_ms)
+            return
         if self.state == MNPState.QUERY:
             self._send_next_repair()
             return
@@ -590,6 +628,12 @@ class MNPNode:
 
     def _on_query_quiet(self):
         if self.state != MNPState.QUERY:
+            return
+        if not self.mote.radio.is_on:
+            # Cannot close the segment while browned out; children would
+            # never hear the EndDownload.  Try again after another quiet
+            # period.
+            self._query_timer.start(self._query_quiet_ms())
             return
         done = EndDownload(self.node_id, self.offer_seg)
         self.mote.mac.send(done, done.wire_bytes())
@@ -690,19 +734,33 @@ class MNPNode:
 
     def _store_packet(self, msg):
         """Store a data packet for the segment being downloaded; returns
-        True if it was new."""
+        True if it was new.
+
+        Defensive against the fault layer: an out-of-range packet id (a
+        corrupted header that survived the link CRC) is dropped, and a
+        flash write failure fails the download (§3.4) instead of crashing
+        the node -- the packet stays marked missing, so the retry
+        re-requests and re-writes it.
+        """
         missing = self._missing_for(msg.seg_id)
+        if not 0 <= msg.packet_id < missing.n:
+            return False
         if not missing.test(msg.packet_id):
             return False
-        self.mote.eeprom.write(
-            self._flash_key(msg.seg_id, msg.packet_id), msg.payload
-        )
+        try:
+            self.mote.eeprom.write(
+                self._flash_key(msg.seg_id, msg.packet_id), msg.payload
+            )
+        except EepromError:
+            self._fail("eeprom write")
+            return False
         missing.clear(msg.packet_id)
         return True
 
     def _complete_segment(self):
         seg_id = self.download_seg
         self.rvd_seg = seg_id
+        self._fail_streak = 0
         self.sim.tracer.emit(
             "mnp.got_segment", node=self.node_id, seg=seg_id,
             parent=self.parent,
@@ -728,6 +786,7 @@ class MNPNode:
         only what is still missing.
         """
         self.fails += 1
+        self._fail_streak += 1
         self._stop_all_timers()
         self._set_state(MNPState.FAIL)
         self.sim.tracer.emit(
@@ -736,6 +795,17 @@ class MNPNode:
         )
         self.parent = None
         self._set_state(MNPState.IDLE)
+
+    def _fail_backoff_ms(self):
+        """Extra request delay after consecutive fails (0 when disabled
+        or when the last attempt succeeded); bounded exponential."""
+        base = self.config.fail_backoff_base_ms
+        if not base or not self._fail_streak:
+            return 0.0
+        return min(
+            base * self.config.fail_backoff_factor ** (self._fail_streak - 1),
+            self.config.fail_backoff_max_ms,
+        )
 
     def _enter_update(self):
         self._set_state(MNPState.UPDATE)
@@ -754,6 +824,12 @@ class MNPNode:
 
     def _send_repair_request(self):
         if not self.mote.radio.is_on:
+            # Browned out: count this as a missed round (arm the silence
+            # timeout) so repeated outages drain repair_rounds_left and
+            # the node fails over to a fresh advertisement round instead
+            # of stalling in UPDATE forever.
+            self._update_timer.start(self._update_wait_ms())
+            self._update_phase = "wait"
             return
         request = RepairRequest(
             self.node_id, self.parent, self.download_seg,
@@ -841,9 +917,11 @@ class MNPNode:
         if self._needs_code_from(adv) and not self._request_timer.running:
             self._request_dest = adv.source_id
             self._request_echo = adv.req_ctr
-            self._request_timer.start(
-                self.mote.rng.uniform(0, self.config.request_delay_ms)
-            )
+            delay = self.mote.rng.uniform(0, self.config.request_delay_ms)
+            backoff = self._fail_backoff_ms()
+            if backoff:
+                delay += backoff * self.mote.rng.uniform(0.5, 1.5)
+            self._request_timer.start(delay)
         # Source competition (Fig. 2(b)).
         if self.state == MNPState.ADVERTISE and self.config.sender_selection:
             if loses_to(self.req_ctr, self.node_id, adv.req_ctr,
@@ -880,6 +958,8 @@ class MNPNode:
     def _handle_download_request(self, req):
         if self.state != MNPState.ADVERTISE:
             return
+        if req.seg_id < 1:
+            return  # corrupted header that survived the link CRC
         if req.dest_id == self.node_id:
             if req.seg_id > self.rvd_seg:
                 return  # we cannot serve a segment we do not have
@@ -909,7 +989,10 @@ class MNPNode:
                     and self.state == MNPState.IDLE:
                 self._enter_sleep("foreign-group transfer in progress")
             return
-        wanted = msg.seg_id == self.rvd_seg + 1
+        # The bound keeps a corrupted seg id (one that survived the link
+        # CRC) from opening a download on a segment that does not exist.
+        wanted = (msg.seg_id == self.rvd_seg + 1
+                  and msg.seg_id <= self.program.n_segments)
         if self.state == MNPState.IDLE:
             if wanted:
                 self._enter_download(msg.source_id, msg.seg_id)
@@ -938,12 +1021,15 @@ class MNPNode:
         if self.state == MNPState.UPDATE:
             if msg.seg_id == self.download_seg and msg.source_id == self.parent:
                 self._store_packet(msg)
+                if self.state != MNPState.UPDATE:
+                    return  # the store failed the download (EEPROM fault)
                 self._update_timer.start(self._update_wait_ms())
                 self._update_phase = "wait"
                 if self._missing_for(self.download_seg).is_empty():
                     self._complete_segment()
             return
-        wanted = msg.seg_id == self.rvd_seg + 1
+        wanted = (msg.seg_id == self.rvd_seg + 1
+                  and msg.seg_id <= self.program.n_segments)
         if self.state == MNPState.IDLE:
             if wanted:
                 self._enter_download(msg.source_id, msg.seg_id)

@@ -74,3 +74,11 @@ ALLOWED_TRANSITIONS = {
 def is_allowed(from_state, to_state):
     """True if Fig. 4 contains the edge ``from_state -> to_state``."""
     return to_state in ALLOWED_TRANSITIONS.get(from_state, ())
+
+
+def iter_edges():
+    """Every directed edge of Fig. 4 as ``(from_state, to_state)`` pairs,
+    in deterministic order (exhaustive-coverage tests iterate this)."""
+    for frm in MNPState.ALL:
+        for to in sorted(ALLOWED_TRANSITIONS.get(frm, ())):
+            yield frm, to

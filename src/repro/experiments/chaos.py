@@ -1,0 +1,217 @@
+"""Chaos harness: dissemination under injected faults, with invariants.
+
+One chaos run = one :class:`~repro.experiments.common.Deployment` + one
+:class:`~repro.faults.FaultPlan` + one
+:class:`~repro.faults.InvariantWatchdog`.  The run drives the network
+until every *surviving* node holds the image (or a deadline passes), then
+reports the paper's robustness story quantitatively: survivor coverage,
+completion time, fail counts, image integrity, what was injected, and the
+watchdog's verdict.
+
+Registered with the parallel runner as ``experiment="chaos"`` so chaos
+sweeps (fault class x intensity x protocol) are cached and parallel like
+every other experiment; the fault plan rides inside the spec's overrides
+as a plain dict, so it participates in the content hash.
+"""
+
+from repro.core.config import MNPConfig
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.faults import FaultController, FaultPlan, InvariantWatchdog
+from repro.net.loss_models import EmpiricalLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, SECOND
+
+RANGE_FT = 25.0
+
+#: Fault classes the CLI sweep exercises; each maps intensity in [0, 1]
+#: to a concrete plan (see :func:`standard_plan`).
+FAULT_CLASSES = ("crash", "eeprom", "link")
+
+
+def standard_plan(fault_class, intensity=0.5, rows=6, cols=6):
+    """A canonical plan for one fault class at the given intensity.
+
+    ``intensity`` scales how hard the class hits (how many nodes crash,
+    how likely writes fail, how badly links degrade); 0 produces an
+    empty plan for any class.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0,1]")
+    plan = FaultPlan(salt=fault_class)
+    if intensity == 0.0:
+        return plan
+    n_nodes = rows * cols
+    if fault_class == "crash":
+        victims = max(1, round(intensity * 0.25 * n_nodes))
+        # Half the victims stay down; the other half power-cycle and
+        # must rejoin via the quiescent-network path.
+        stay_down = victims // 2
+        restart = victims - stay_down
+        if stay_down:
+            plan.crash(at_ms=20 * SECOND, count=stay_down)
+        if restart:
+            plan.crash(at_ms=25 * SECOND, count=restart,
+                       restart_after_ms=90 * SECOND)
+    elif fault_class == "eeprom":
+        afflicted = max(1, round(intensity * 0.2 * n_nodes))
+        plan.eeprom_failures(probability=0.3 * intensity, count=afflicted)
+        plan.eeprom_corruption(probability=0.1 * intensity,
+                               count=afflicted, flips=2)
+    elif fault_class == "link":
+        plan.link_degradation(
+            start_ms=10 * SECOND, end_ms=(10 + 90 * intensity) * SECOND,
+            ber_factor=1.0 + 80.0 * intensity,
+            ber_floor=0.002 * intensity,
+        )
+        plan.decode_corruption(probability=0.2 * intensity,
+                               start_ms=10 * SECOND,
+                               end_ms=(10 + 90 * intensity) * SECOND)
+    else:
+        raise ValueError(
+            f"unknown fault class {fault_class!r}; known: {FAULT_CLASSES}"
+        )
+    return plan
+
+
+class ChaosOutcome:
+    """Everything one chaos run reports (see :meth:`to_dict`)."""
+
+    def __init__(self, deployment, controller, verdict, deadline_hit):
+        self.deployment = deployment
+        self.controller = controller
+        self.verdict = verdict
+        self.deadline_hit = deadline_hit
+        sim = deployment.sim
+        nodes = deployment.nodes
+        motes = deployment.motes
+        self.alive = [n for n in nodes if motes[n].alive]
+        self.complete = [
+            n for n in self.alive if nodes[n].has_full_image
+        ]
+        self.survivor_coverage = (
+            len(self.complete) / len(self.alive) if self.alive else 0.0
+        )
+        times = [
+            nodes[n].got_code_time for n in self.complete
+            if nodes[n].got_code_time
+        ]
+        self.completion_s = (
+            max(times) / SECOND
+            if times and len(self.complete) == len(self.alive) else None
+        )
+        self.fails = sum(getattr(n, "fails", 0) for n in nodes.values())
+        expected = deployment.image.to_bytes()
+        self.corrupt_images = sum(
+            1 for n in self.complete
+            if hasattr(nodes[n], "assemble_image")
+            and nodes[n].assemble_image() != expected
+        )
+        self.messages = sum(deployment.collector.tx_by_node.values())
+        self.collisions = deployment.collector.collisions
+        self.elapsed_s = sim.now / SECOND
+
+    def to_dict(self):
+        """JSON-ready outcome manifest (deterministic for a given
+        ``(seed, plan)``; the CI chaos-smoke job diffs two of these)."""
+        return {
+            "survivors_total": len(self.alive),
+            "survivors_complete": len(self.complete),
+            "survivor_coverage": self.survivor_coverage,
+            "completion_s": self.completion_s,
+            "deadline_hit": self.deadline_hit,
+            "fails": self.fails,
+            "corrupt_images": self.corrupt_images,
+            "images_intact": self.corrupt_images == 0,
+            "messages_sent": self.messages,
+            "collisions": self.collisions,
+            "elapsed_s": self.elapsed_s,
+            "faults": self.controller.summary(),
+            "watchdog_ok": self.verdict["ok"],
+            "watchdog": self.verdict,
+        }
+
+
+def run_chaos(plan, rows=6, cols=6, protocol="mnp", n_segments=2,
+              segment_packets=32, seed=0, deadline_min=240, config=None,
+              stall_ms=10 * MINUTE):
+    """One dissemination run under the given fault plan.
+
+    The run ends when every *alive* node holds the full image and the
+    plan's last bounded fault has fired (so a restart scheduled after
+    completion still gets exercised), or at the deadline.  Returns a
+    :class:`ChaosOutcome`.
+    """
+    topo = Topology.grid(rows, cols, 10.0)
+    image = CodeImage.random(1, n_segments=n_segments,
+                             segment_packets=segment_packets, seed=seed)
+    protocol_config = None
+    if protocol == "mnp":
+        protocol_config = (
+            MNPConfig(**config) if isinstance(config, dict)
+            else config or MNPConfig(query_update=True,
+                                     fail_backoff_base_ms=250.0)
+        )
+    dep = Deployment(
+        topo, image=image, protocol=protocol,
+        protocol_config=protocol_config, seed=seed,
+        propagation=PropagationModel(RANGE_FT, 3.0),
+        loss_model=EmpiricalLossModel(seed=seed),
+    )
+    controller = FaultController(dep, plan)
+    controller.install()
+    power = dep.mote_config.power_level
+    watchdog = InvariantWatchdog(
+        dep.sim, n_nodes=len(dep.nodes),
+        neighbors_fn=lambda nid: dep.channel.neighbors(nid, power),
+        stall_ms=stall_ms,
+    )
+    dep.start()
+
+    def settled():
+        if dep.sim.now < controller.last_fault_ms:
+            return False
+        nodes, motes = dep.nodes, dep.motes
+        return all(
+            nodes[n].has_full_image
+            for n in nodes if motes[n].alive
+        )
+
+    done = dep.sim.run_until(settled, check_every=SECOND,
+                             deadline=deadline_min * MINUTE)
+    verdict = watchdog.finish(motes=dep.motes)
+    watchdog.detach()
+    return ChaosOutcome(dep, controller, verdict, deadline_hit=not done)
+
+
+def chaos_experiment(spec):
+    """Runner executor (``experiment="chaos"``).
+
+    Overrides: ``plan`` (a :meth:`FaultPlan.to_dict` dict -- required
+    unless ``fault_class`` is given), ``fault_class`` + ``intensity``
+    (build a :func:`standard_plan`), ``rows``, ``cols``, ``n_segments``,
+    ``segment_packets``, ``deadline_min``, ``config`` (MNPConfig kwargs).
+    """
+    ov = spec.overrides
+    rows = ov.get("rows", 6)
+    cols = ov.get("cols", 6)
+    if "plan" in ov:
+        plan = FaultPlan.from_dict(ov["plan"])
+    elif "fault_class" in ov:
+        plan = standard_plan(ov["fault_class"],
+                             ov.get("intensity", 0.5), rows, cols)
+    else:
+        plan = FaultPlan()
+    outcome = run_chaos(
+        plan, rows=rows, cols=cols, protocol=spec.protocol,
+        n_segments=ov.get("n_segments", 2),
+        segment_packets=ov.get("segment_packets", 32),
+        seed=spec.seed,
+        deadline_min=ov.get("deadline_min", 240),
+        config=ov.get("config"),
+    )
+    metrics = outcome.to_dict()
+    metrics["seed"] = spec.seed
+    metrics["protocol"] = spec.protocol
+    return metrics

@@ -64,8 +64,7 @@ def run_churn(rows=6, cols=6, kill_fraction=0.15, kill_after_ms=None,
 
     def kill():
         for victim in victims:
-            dep.motes[victim].sleep_radio()
-            dep.nodes[victim]._stop_all_timers()
+            dep.motes[victim].kill()
 
     dep.sim.schedule(kill_at, kill)
     dep.start()
@@ -132,11 +131,13 @@ def _reachable_excluding(topology, source, excluded):
 
 
 def run_late_joiner(rows=4, cols=4, join_after_min=3.0, n_segments=1,
-                    seed=0, deadline_min=120):
+                    seed=0, deadline_min=120, query_update=False):
     """Power one node on only after the rest of the network has finished
     updating; it must catch up from the quiescent network.
 
-    Returns ``(join_time_ms, catch_up_ms, deployment)`` where
+    ``query_update`` selects the Fig. 4 variant: the latecomer's repair
+    path differs (UPDATE rounds vs FAIL-and-rerequest), and both must
+    converge.  Returns ``(join_time_ms, catch_up_ms, deployment)`` where
     ``catch_up_ms`` is how long the latecomer needed (None if it never
     completed).
     """
@@ -144,7 +145,8 @@ def run_late_joiner(rows=4, cols=4, join_after_min=3.0, n_segments=1,
     image = CodeImage.random(1, n_segments=n_segments, segment_packets=32,
                              seed=seed)
     dep = Deployment(
-        topo, image=image, protocol="mnp", seed=seed,
+        topo, image=image, protocol="mnp",
+        protocol_config=MNPConfig(query_update=query_update), seed=seed,
         propagation=PropagationModel(RANGE_FT, 3.0),
         loss_model=EmpiricalLossModel(seed=seed),
     )

@@ -1,0 +1,23 @@
+"""Deterministic fault injection and invariant checking.
+
+Three pieces, used together by the chaos harness
+(:mod:`repro.experiments.chaos`, ``python -m repro chaos``):
+
+* :class:`~repro.faults.plan.FaultPlan` -- a declarative, JSON-serialisable
+  list of fault specs (crashes, brownouts, EEPROM failures and corruption,
+  link degradation, partitions, frame corruption).
+* :class:`~repro.faults.controller.FaultController` -- compiles a plan
+  against a deployment; all randomness comes from derived streams separate
+  from the simulation's, so faults are reproducible and an empty plan
+  leaves runs bit-identical.
+* :class:`~repro.faults.watchdog.InvariantWatchdog` -- a pure trace
+  consumer asserting the protocol invariants of §3 (legal state edges,
+  transient FAIL, silent dead nodes, one sender per neighborhood,
+  write-once EEPROM) plus a liveness monitor.
+"""
+
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import InvariantWatchdog
+
+__all__ = ["FaultPlan", "FaultController", "InvariantWatchdog"]

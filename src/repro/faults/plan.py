@@ -1,0 +1,233 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of fault *specs* -- plain,
+JSON-representable dicts -- describing what should go wrong in a run and
+when.  Plans are data, not behaviour: the
+:class:`repro.faults.controller.FaultController` compiles a plan against a
+concrete :class:`repro.experiments.common.Deployment`, deriving every
+random choice (which nodes crash, which writes fail, which bits flip) from
+``derive_rng(seed, "faults", plan.salt, ...)`` streams that are disjoint
+from the simulation's own randomness.  The same ``(plan, seed)`` therefore
+always produces the same faults, and an *empty* plan installs nothing at
+all, leaving golden runs bit-identical.
+
+Because a plan round-trips through :meth:`to_dict` / :meth:`from_dict`, it
+can ride inside a :class:`repro.runner.RunSpec`'s overrides: chaos sweeps
+get the cached, parallel experiment machinery for free.
+
+Times are milliseconds of virtual time, matching the kernel.
+"""
+
+
+def _window(start_ms, end_ms):
+    if start_ms < 0:
+        raise ValueError("start_ms must be non-negative")
+    if end_ms is not None and end_ms <= start_ms:
+        raise ValueError(f"empty fault window ({start_ms}, {end_ms})")
+    return float(start_ms), None if end_ms is None else float(end_ms)
+
+
+def _probability(p, what):
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{what} must be in [0,1], got {p}")
+    return float(p)
+
+
+def _node_choice(nodes, count, what):
+    """Validate the explicit-nodes / random-count pair of a spec."""
+    if nodes is not None and count is not None:
+        raise ValueError(f"{what}: give nodes or count, not both")
+    if nodes is None and count is None:
+        raise ValueError(f"{what}: give nodes=[...] or count=N")
+    if count is not None and count < 1:
+        raise ValueError(f"{what}: count must be >= 1")
+    return (None if nodes is None else sorted(nodes),
+            None if count is None else int(count))
+
+
+class FaultPlan:
+    """An ordered, composable list of fault specs.
+
+    Builder methods append one spec each and return ``self`` so plans
+    chain::
+
+        plan = (FaultPlan()
+                .crash(at_ms=30_000, count=2, restart_after_ms=60_000)
+                .eeprom_corruption(probability=0.01, count=3)
+                .link_degradation(start_ms=0, end_ms=120_000,
+                                  ber_factor=30.0))
+
+    ``salt`` namespaces the plan's derived random streams, so two
+    otherwise-identical plans can produce independent fault draws.
+    """
+
+    def __init__(self, salt=""):
+        self.salt = salt
+        self.specs = []
+
+    # -- composition ---------------------------------------------------
+    @property
+    def is_empty(self):
+        return not self.specs
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    # -- node faults ---------------------------------------------------
+    def crash(self, at_ms, nodes=None, count=None, restart_after_ms=None):
+        """Hard node failure at ``at_ms``: MCU dead, radio off, timers
+        inert.  ``restart_after_ms`` (optional) revives the node that
+        much later; it cold-boots the protocol but keeps its EEPROM."""
+        if at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if restart_after_ms is not None and restart_after_ms <= 0:
+            raise ValueError("restart_after_ms must be positive")
+        nodes, count = _node_choice(nodes, count, "crash")
+        self.specs.append({
+            "kind": "crash",
+            "at_ms": float(at_ms),
+            "nodes": nodes,
+            "count": count,
+            "restart_after_ms": (
+                None if restart_after_ms is None else float(restart_after_ms)
+            ),
+        })
+        return self
+
+    def brownout(self, at_ms, duration_ms, nodes=None, count=None,
+                 battery_sag=0.0):
+        """Supply dip: the radio drops out for ``duration_ms`` (protocol
+        state and timers survive -- the MCU stays up), and ``battery_sag``
+        of the battery's capacity is lost to the transient."""
+        if at_ms < 0:
+            raise ValueError("at_ms must be non-negative")
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        _probability(battery_sag, "battery_sag")
+        nodes, count = _node_choice(nodes, count, "brownout")
+        self.specs.append({
+            "kind": "brownout",
+            "at_ms": float(at_ms),
+            "duration_ms": float(duration_ms),
+            "nodes": nodes,
+            "count": count,
+            "battery_sag": float(battery_sag),
+        })
+        return self
+
+    # -- storage faults ------------------------------------------------
+    def eeprom_failures(self, probability, nodes=None, count=None,
+                        start_ms=0.0, end_ms=None):
+        """Each EEPROM write on an afflicted node fails (raises
+        ``EepromError``, nothing stored) with ``probability`` while the
+        window is open.  ``end_ms=None`` leaves it open for the run."""
+        _probability(probability, "probability")
+        nodes, count = _node_choice(nodes, count, "eeprom_failures")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "eeprom",
+            "mode": "fail",
+            "probability": float(probability),
+            "nodes": nodes,
+            "count": count,
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
+    def eeprom_corruption(self, probability, nodes=None, count=None,
+                          flips=1, start_ms=0.0, end_ms=None):
+        """Each EEPROM write silently stores ``flips`` flipped bits with
+        ``probability``; the damage surfaces later as an image CRC
+        mismatch (`verify_image` / `images_intact`)."""
+        _probability(probability, "probability")
+        if flips < 1:
+            raise ValueError("flips must be >= 1")
+        nodes, count = _node_choice(nodes, count, "eeprom_corruption")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "eeprom",
+            "mode": "corrupt",
+            "probability": float(probability),
+            "flips": int(flips),
+            "nodes": nodes,
+            "count": count,
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
+    # -- channel faults ------------------------------------------------
+    def link_degradation(self, start_ms, end_ms, ber_factor,
+                         ber_floor=0.0, nodes=None):
+        """Multiply every (or the given nodes') link BER by ``ber_factor``
+        (floored at ``ber_floor``) inside the window; see
+        :class:`repro.net.loss_models.DegradedLossModel`."""
+        start_ms, end_ms = _window(start_ms, end_ms)
+        if end_ms is None:
+            raise ValueError("link_degradation needs a bounded window")
+        if ber_factor < 1.0:
+            raise ValueError("ber_factor must be >= 1")
+        self.specs.append({
+            "kind": "link",
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+            "ber_factor": float(ber_factor),
+            "ber_floor": float(ber_floor),
+            "nodes": None if nodes is None else sorted(nodes),
+        })
+        return self
+
+    def partition(self, start_ms, end_ms, groups):
+        """Sever all links between the given node groups inside the
+        window; see :class:`repro.net.loss_models.PartitionLossModel`."""
+        start_ms, end_ms = _window(start_ms, end_ms)
+        if end_ms is None:
+            raise ValueError("partition needs a bounded window")
+        groups = [sorted(g) for g in groups]
+        if sum(1 for g in groups if g) < 2:
+            raise ValueError("a partition needs at least two groups")
+        self.specs.append({
+            "kind": "partition",
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+            "groups": groups,
+        })
+        return self
+
+    def decode_corruption(self, probability, pass_fraction=0.05,
+                          start_ms=0.0, end_ms=None):
+        """Corrupt received frames with ``probability`` inside the
+        window.  The link-layer CRC catches most corruption (the frame is
+        dropped); ``pass_fraction`` of corrupted frames slip through with
+        one protocol header field damaged, exercising the receivers'
+        defensive decode paths."""
+        _probability(probability, "probability")
+        _probability(pass_fraction, "pass_fraction")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "decode",
+            "probability": float(probability),
+            "pass_fraction": float(pass_fraction),
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self):
+        """JSON-ready representation (rides in RunSpec overrides)."""
+        return {"salt": self.salt, "specs": [dict(s) for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data):
+        plan = cls(salt=data.get("salt", ""))
+        plan.specs = [dict(s) for s in data.get("specs", ())]
+        return plan
+
+    def __repr__(self):
+        kinds = ",".join(s["kind"] for s in self.specs) or "empty"
+        return f"<FaultPlan [{kinds}]>"

@@ -39,3 +39,14 @@ class Battery:
             raise ValueError("cannot drain a negative charge")
         self.remaining_nah = max(0.0, self.remaining_nah - nah)
         return self.remaining_nah
+
+    def drain_fraction(self, fraction):
+        """Withdraw a fraction of *capacity* (not of the remainder).
+
+        Used by the fault layer to model a brownout's sag: the voltage
+        dip that forces the radio off also costs real charge.  Clamps at
+        zero and returns the new remainder.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0,1]")
+        return self.drain(self.capacity_nah * fraction)

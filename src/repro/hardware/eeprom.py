@@ -17,14 +17,24 @@ the granularity at which the protocol addresses the flash.
 
 
 class EepromError(RuntimeError):
-    """Raised on capacity overflow."""
+    """Raised on capacity overflow or an injected write failure."""
 
 
 LINE_BYTES = 16
 
 
 class Eeprom:
-    """Key-addressed external flash with operation accounting."""
+    """Key-addressed external flash with operation accounting.
+
+    ``fault_hook`` (optional) models flash-level faults for the
+    deterministic fault-injection subsystem (:mod:`repro.faults`): it is
+    called as ``fault_hook(key, data)`` at the top of every :meth:`write`
+    and may raise :class:`EepromError` (a failed write: nothing is
+    stored, no operation is charged) or return replacement data (silent
+    bit-flip corruption: the bad bytes are stored and later surface as
+    an image CRC mismatch).  Protocol code must treat a raising write as
+    a recoverable local fault, never as a simulator crash.
+    """
 
     def __init__(self, capacity_bytes=512 * 1024):
         if capacity_bytes <= 0:
@@ -36,6 +46,8 @@ class Eeprom:
         self.write_ops = 0  # 16-byte line writes
         self.read_ops = 0  # 16-byte line reads
         self.write_counts = {}  # key -> number of times written
+        self.fault_hook = None  # fn(key, data) -> data, or raises
+        self.failed_writes = 0  # writes aborted by the fault hook
 
     @staticmethod
     def _lines(nbytes):
@@ -43,6 +55,12 @@ class Eeprom:
 
     def write(self, key, data, nbytes=None):
         """Store ``data`` under ``key``; ``nbytes`` defaults to len(data)."""
+        if self.fault_hook is not None:
+            try:
+                data = self.fault_hook(key, data)
+            except EepromError:
+                self.failed_writes += 1
+                raise
         if nbytes is None:
             nbytes = len(data)
         previous = self._sizes.get(key, 0)

@@ -60,14 +60,27 @@ class Mote:
         self.bootloader = Bootloader()
         self.rng = derive_rng(seed, "mote", node_id)
         self.rebooted_at = None
+        # Fault model: a crashed mote is not alive.  Timers created via
+        # new_timer() are guarded on this flag, so anything left armed
+        # when the node dies is inert instead of mutating protocol state.
+        self.alive = True
+        self.crashed_at = None
 
     @property
     def position(self):
         return self.channel.topology.positions[self.node_id]
 
     def new_timer(self, callback, name=""):
-        """Create a protocol timer bound to this mote's simulator."""
-        return Timer(self.sim, callback, name=f"n{self.node_id}:{name}")
+        """Create a protocol timer bound to this mote's simulator.
+
+        The timer is guarded on :attr:`alive`: a timer armed before the
+        node crashed must not fire afterwards (its MCU is dead).
+        """
+        return Timer(self.sim, callback, name=f"n{self.node_id}:{name}",
+                     guard=self._timers_allowed)
+
+    def _timers_allowed(self):
+        return self.alive
 
     def reboot(self):
         """Record installation of the new image (driven by the external
@@ -81,6 +94,24 @@ class Mote:
 
     def wake_radio(self):
         self.radio.turn_on()
+
+    def kill(self):
+        """Crash the node: radio off, MAC cleared, all guarded timers
+        inert.  Armed timers are *not* cancelled -- they fire into the
+        alive-guard and are suppressed, which is exactly the hygiene the
+        fault tests assert (a forgotten timer on a dead node must not
+        mutate protocol state).  Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashed_at = self.sim.now
+        self.sleep_radio()
+
+    def revive(self):
+        """Power the node back up after a crash.  The protocol object is
+        responsible for restarting itself (see ``MNPNode.power_cycle``);
+        this only restores the hardware's liveness.  Idempotent."""
+        self.alive = True
 
     def __repr__(self):
         return f"<Mote {self.node_id} @{self.position}>"

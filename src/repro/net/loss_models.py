@@ -168,6 +168,99 @@ class IntermittentLossModel:
         return self.base.ber(src, dst, distance_ft, range_ft)
 
 
+def _in_windows(windows, now):
+    return any(start <= now < end for start, end in windows)
+
+
+def _check_windows(windows):
+    windows = sorted(tuple(w) for w in windows)
+    for start, end in windows:
+        if end <= start:
+            raise ValueError(f"empty window ({start}, {end})")
+    return windows
+
+
+class DegradedLossModel:
+    """Wrap a base loss model with windows of degraded link quality.
+
+    Inside a window every affected link's BER is multiplied by
+    ``ber_factor`` and floored at ``ber_floor`` (capped at 0.5), modeling
+    rain fade, co-channel interference, or antenna damage -- degradation
+    rather than the total blackout of :class:`IntermittentLossModel`.
+    ``nodes`` (optional) restricts the effect to links whose source or
+    destination is in the set.  Built for the fault-injection subsystem
+    (:mod:`repro.faults`); deterministic given the simulation clock.
+    """
+
+    is_time_varying = True  # BER depends on the simulation clock
+
+    def __init__(self, sim, base_model, windows, ber_factor=1.0,
+                 ber_floor=0.0, nodes=None):
+        if ber_factor < 1.0:
+            raise ValueError("ber_factor must be >= 1")
+        if not 0.0 <= ber_floor <= 0.5:
+            raise ValueError("ber_floor must be in [0, 0.5]")
+        self.sim = sim
+        self.base = base_model
+        self.windows = _check_windows(windows)
+        self.ber_factor = ber_factor
+        self.ber_floor = ber_floor
+        self.nodes = frozenset(nodes) if nodes is not None else None
+        self.degraded_packets = 0
+
+    def ber(self, src, dst, distance_ft, range_ft):
+        ber = self.base.ber(src, dst, distance_ft, range_ft)
+        if self.nodes is not None and not ({src, dst} & self.nodes):
+            return ber
+        if _in_windows(self.windows, self.sim.now):
+            self.degraded_packets += 1
+            return min(0.5, max(ber * self.ber_factor, self.ber_floor))
+        return ber
+
+
+class PartitionLossModel:
+    """Wrap a base loss model with scheduled network partitions.
+
+    During a window, links whose endpoints fall in *different* groups
+    saturate at BER 0.5 (nothing decodes across the cut); links inside a
+    group, or touching a node in no group, pass through unchanged.
+    Models a physical split -- a vehicle parked across the deployment, a
+    collapsed relay row -- without changing audibility, so carrier sense
+    and collisions still couple the halves (as they would in reality).
+    """
+
+    is_time_varying = True  # BER depends on the simulation clock
+
+    def __init__(self, sim, base_model, windows, groups):
+        self.sim = sim
+        self.base = base_model
+        self.windows = _check_windows(windows)
+        self.groups = [frozenset(g) for g in groups]
+        if sum(1 for g in self.groups if g) < 2:
+            raise ValueError("a partition needs at least two groups")
+        self._side = {}
+        for index, group in enumerate(self.groups):
+            for node in group:
+                if node in self._side:
+                    raise ValueError(f"node {node} is in two groups")
+                self._side[node] = index
+        self.cut_packets = 0
+
+    def severed(self, src, dst):
+        """True if the (src, dst) link is across the cut right now."""
+        src_side = self._side.get(src)
+        dst_side = self._side.get(dst)
+        if src_side is None or dst_side is None or src_side == dst_side:
+            return False
+        return _in_windows(self.windows, self.sim.now)
+
+    def ber(self, src, dst, distance_ft, range_ft):
+        if self.severed(src, dst):
+            self.cut_packets += 1
+            return 0.5
+        return self.base.ber(src, dst, distance_ft, range_ft)
+
+
 class EmpiricalLossModel:
     """Distance-dependent, per-edge-randomised BER (TOSSIM-style).
 

@@ -113,6 +113,14 @@ class Channel:
         self.carrier_polls = 0
         self.link_cache_hits = 0
         self.link_cache_misses = 0
+        # Fault layer: optional per-delivery hook ``fn(frame, dst)`` run
+        # after a frame wins its decode draw and before delivery.  It
+        # returns the frame (possibly a corrupted clone; see
+        # ``Frame.clone_with_payload``) or None to drop it (a corruption
+        # the link-layer CRC caught).  The hook must draw randomness
+        # only from its own derived stream so a no-op hook leaves runs
+        # bit-identical.
+        self.decode_hook = None
 
     # ------------------------------------------------------------------
     # Loss model / link cache
@@ -389,6 +397,13 @@ class Channel:
             # Strict <: random() can return exactly 0.0, which must not
             # deliver a frame whose success probability is zero.
             if random() < success_p:
+                delivered = frame
+                if self.decode_hook is not None:
+                    delivered = self.decode_hook(frame, dst)
+                    if delivered is None:
+                        receiver.frames_bit_errors += 1
+                        self.bit_error_losses += 1
+                        continue
                 if rx_watched:
                     emit(
                         "radio.rx",
@@ -397,7 +412,7 @@ class Channel:
                         kind=kind,
                         bytes=frame_bytes,
                     )
-                receiver.deliver(frame)
+                receiver.deliver(delivered)
             else:
                 receiver.frames_bit_errors += 1
                 self.bit_error_losses += 1

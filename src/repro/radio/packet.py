@@ -38,6 +38,24 @@ class Frame:
         Frame._sequence_counter += 1
         self.sequence = Frame._sequence_counter
 
+    def clone_with_payload(self, payload):
+        """A copy of this frame carrying a different payload object.
+
+        The fault layer delivers *corrupted* copies of a frame to
+        individual receivers.  Payload objects are shared by every
+        receiver of a broadcast, so corruption must never mutate the
+        original in place; the clone keeps the on-air size and sequence
+        (it is the same physical frame, decoded wrongly at one node).
+        """
+        clone = Frame.__new__(Frame)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.payload = payload
+        clone.payload_bytes = self.payload_bytes
+        clone.on_air_bytes = self.on_air_bytes
+        clone.sequence = self.sequence
+        return clone
+
     def __repr__(self):
         kind = type(self.payload).__name__
         return f"<Frame #{self.sequence} {kind} from {self.src}>"

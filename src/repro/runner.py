@@ -50,6 +50,7 @@ EXPERIMENTS = {
     "grid": "repro.experiments.common:grid_experiment",
     "density": "repro.experiments.density:density_experiment",
     "power": "repro.experiments.power_sweep:power_experiment",
+    "chaos": "repro.experiments.chaos:chaos_experiment",
 }
 
 

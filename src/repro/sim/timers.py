@@ -5,6 +5,18 @@ components are: a timer is armed with a delay, may be restarted (which
 cancels the pending expiry), and invokes a callback when it fires.  The
 MNP state machine uses them for advertisement intervals, download
 timeouts, sleep periods, and repair waits.
+
+Timers accept an optional ``guard``: a zero-argument callable consulted at
+fire time.  When it returns False the callback is suppressed (the timer
+still disarms).  :meth:`repro.hardware.mote.Mote.new_timer` uses this to
+keep timers of a crashed node from mutating protocol state -- a real
+mote's timers die with its MCU, so a timer left armed across a node death
+must be inert (see the fault-injection subsystem, ``repro.faults``).
+
+Each fire (or suppression) is published on the tracer as ``timer.fire`` /
+``timer.suppressed`` when watched, so the invariant watchdog can assert
+that no timer callback ever runs on a dead node; unwatched runs pay one
+predicate call per fire.
 """
 
 
@@ -13,13 +25,15 @@ class Timer:
 
     The callback is invoked with no arguments when the timer fires.  A timer
     may be freely restarted or stopped; only the most recent :meth:`start`
-    can fire.
+    can fire.  ``guard`` (optional) is evaluated at fire time; a falsy
+    result suppresses the callback.
     """
 
-    def __init__(self, sim, callback, name=""):
+    def __init__(self, sim, callback, name="", guard=None):
         self.sim = sim
         self.callback = callback
         self.name = name
+        self.guard = guard
         self._event = None
 
     @property
@@ -45,6 +59,13 @@ class Timer:
 
     def _fire(self):
         self._event = None
+        tracer = self.sim.tracer
+        if self.guard is not None and not self.guard():
+            if tracer.watches("timer.suppressed"):
+                tracer.emit("timer.suppressed", name=self.name)
+            return
+        if tracer.watches("timer.fire"):
+            tracer.emit("timer.fire", name=self.name)
         self.callback()
 
     def __repr__(self):

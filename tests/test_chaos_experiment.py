@@ -1,0 +1,95 @@
+"""Tests for the chaos experiment and its runner/CLI integration."""
+
+import json
+
+from repro.experiments.chaos import (
+    FAULT_CLASSES,
+    chaos_experiment,
+    run_chaos,
+    standard_plan,
+)
+from repro.faults import FaultPlan
+from repro.runner import Runner, RunSpec
+
+import pytest
+
+
+SMOKE = dict(rows=3, cols=3, n_segments=1, segment_packets=16)
+
+
+# ----------------------------------------------------------------------
+# standard_plan
+# ----------------------------------------------------------------------
+def test_standard_plan_zero_intensity_is_empty():
+    for fault_class in FAULT_CLASSES:
+        assert standard_plan(fault_class, intensity=0.0).is_empty
+
+
+def test_standard_plan_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        standard_plan("crash", intensity=1.5)
+    with pytest.raises(ValueError):
+        standard_plan("gamma-rays", intensity=0.5)
+
+
+def test_standard_plans_are_distinct_per_class():
+    plans = {fc: standard_plan(fc, intensity=0.5).to_dict()
+             for fc in FAULT_CLASSES}
+    assert len({json.dumps(p, sort_keys=True)
+                for p in plans.values()}) == len(FAULT_CLASSES)
+    assert all(plans[fc]["salt"] == fc for fc in FAULT_CLASSES)
+
+
+# ----------------------------------------------------------------------
+# run_chaos
+# ----------------------------------------------------------------------
+def test_clean_chaos_run_completes_with_ok_verdict():
+    out = run_chaos(FaultPlan(), seed=42, **SMOKE)
+    assert out.survivor_coverage == 1.0
+    assert out.completion_s is not None
+    assert not out.deadline_hit
+    assert out.corrupt_images == 0
+    assert out.verdict["ok"]
+    manifest = out.to_dict()
+    assert manifest["watchdog_ok"]
+    assert manifest["faults"]["counts"] == {}
+    json.dumps(manifest)  # the manifest must be JSON-serialisable
+
+
+def test_chaos_manifest_is_bit_reproducible():
+    spec = RunSpec("chaos", protocol="mnp", scale="smoke", seed=11,
+                   fault_class="crash", intensity=0.5, **SMOKE)
+    first = chaos_experiment(spec)
+    second = chaos_experiment(spec)
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+
+
+def test_chaos_runs_against_a_baseline_protocol():
+    out = run_chaos(standard_plan("crash", 0.5, rows=3, cols=3),
+                    protocol="deluge", seed=3, **SMOKE)
+    manifest = out.to_dict()
+    assert manifest["faults"]["counts"]["crash"] >= 1  # someone really died
+    assert "watchdog" in manifest
+    json.dumps(manifest)
+
+
+# ----------------------------------------------------------------------
+# Runner integration: cached, parallel, and consistent
+# ----------------------------------------------------------------------
+def test_chaos_specs_cache_and_survive_worker_counts(tmp_path):
+    specs = [
+        RunSpec("chaos", protocol="mnp", scale="smoke", seed=seed,
+                fault_class="eeprom", intensity=0.5, **SMOKE)
+        for seed in (0, 1)
+    ]
+    serial = Runner(workers=0, cache_dir=str(tmp_path / "a"))
+    first = serial.run(specs)
+    assert serial.stats.misses == 2
+    again = Runner(workers=0, cache_dir=str(tmp_path / "a")).run(specs)
+    assert first == again  # cache round-trip is lossless
+
+    parallel = Runner(workers=2, cache_dir=str(tmp_path / "b"))
+    fleet = parallel.run(specs)
+    assert json.dumps(fleet, sort_keys=True) == \
+        json.dumps(first, sort_keys=True)  # REPRO_WORKERS-independent

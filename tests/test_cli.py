@@ -120,3 +120,41 @@ def test_every_figure_command_renders(figure, needle):
     code, text = run_cli(["figure", figure])
     assert code == 0
     assert needle.lower() in text.lower()
+
+
+def test_chaos_text_table():
+    code, text = run_cli([
+        "chaos", "--grid", "3x3", "--segments", "1",
+        "--segment-packets", "16", "--fault-classes", "crash",
+        "--protocols", "mnp", "--no-cache", "--quiet",
+    ])
+    assert code == 0
+    assert "Chaos: 3x3 grid" in text
+    assert "crash" in text and "mnp" in text
+    assert "watchdog" in text
+
+
+def test_chaos_json_matrix():
+    import json
+
+    code, text = run_cli([
+        "chaos", "--grid", "3x3", "--segments", "1",
+        "--segment-packets", "16", "--fault-classes", "crash,eeprom",
+        "--protocols", "mnp", "--seed", "2", "--no-cache", "--quiet",
+        "--json",
+    ])
+    assert code == 0
+    payload = json.loads(text)
+    assert len(payload["runs"]) == 2
+    for run in payload["runs"]:
+        metrics = run["metrics"]
+        assert {"survivor_coverage", "fails", "watchdog_ok",
+                "faults"} <= set(metrics)
+        assert not metrics["watchdog"]["violations"]
+
+
+def test_chaos_rejects_unknown_fault_class():
+    code, _ = run_cli([
+        "chaos", "--fault-classes", "gamma-rays", "--no-cache", "--quiet",
+    ])
+    assert code == 2

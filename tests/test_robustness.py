@@ -1,5 +1,7 @@
 """Tests for the robustness experiments (churn, late joiners)."""
 
+import pytest
+
 from repro.experiments.robustness import (
     _pick_victims,
     _survivors_connected,
@@ -49,3 +51,28 @@ def test_late_joiner_image_intact():
     assert catch_up is not None
     late = dep.topology.center_node()
     assert dep.nodes[late].assemble_image() == dep.image.to_bytes()
+
+
+@pytest.mark.parametrize("query_update", [False, True],
+                         ids=["basic", "query_update"])
+def test_late_joiner_converges_in_both_fig4_variants(query_update):
+    # The latecomer's repair path differs by variant (UPDATE rounds vs
+    # FAIL-and-rerequest); both must still catch up from the quiescent
+    # network and end with an intact image.
+    join_time, catch_up, dep = run_late_joiner(
+        rows=3, cols=3, seed=4, query_update=query_update)
+    assert catch_up is not None
+    late = dep.topology.center_node()
+    assert dep.nodes[late].got_code_time > join_time
+    assert dep.nodes[late].assemble_image() == dep.image.to_bytes()
+    assert dep.nodes[late].config.query_update is query_update
+
+
+def test_churn_with_hard_kill_keeps_survivors_complete():
+    # Since churn uses Mote.kill(), victims die MCU-and-all (timers
+    # guard-suppressed) rather than merely sleeping their radios.
+    outcome = run_churn(rows=4, cols=4, kill_fraction=0.2, seed=7,
+                        n_segments=1)
+    assert outcome.killed
+    assert outcome.survivor_coverage == 1.0
+    assert outcome.images_intact

@@ -1,6 +1,16 @@
 """Tests for the Fig. 4 state machine table."""
 
-from repro.core.states import ALLOWED_TRANSITIONS, MNPState, is_allowed
+import pytest
+
+from repro.core.config import MNPConfig
+from repro.core.mnp import MNPNode, TransitionError
+from repro.core.states import (
+    ALLOWED_TRANSITIONS,
+    MNPState,
+    is_allowed,
+    iter_edges,
+)
+from tests.conftest import make_world
 
 
 def test_all_states_enumerated():
@@ -56,3 +66,63 @@ def test_every_state_is_reachable_and_leavable():
 
 def test_unknown_state_has_no_transitions():
     assert not is_allowed("bogus", MNPState.IDLE)
+
+
+def test_iter_edges_matches_the_table_and_is_deterministic():
+    edges = list(iter_edges())
+    assert edges == list(iter_edges())
+    assert len(edges) == len(set(edges))
+    assert set(edges) == {
+        (frm, to) for frm, targets in ALLOWED_TRANSITIONS.items()
+        for to in targets
+    }
+    assert [e for e in edges if e[0] == MNPState.FAIL] == [
+        (MNPState.FAIL, MNPState.IDLE)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Every edge through the real protocol engine, both Fig. 4 variants
+# ----------------------------------------------------------------------
+@pytest.fixture(params=[False, True], ids=["basic", "query_update"])
+def engine(request):
+    world = make_world([(0.0, 0.0)])
+    return MNPNode(world.motes[0],
+                   config=MNPConfig(query_update=request.param))
+
+
+def test_engine_accepts_every_fig4_edge(engine):
+    for frm, to in iter_edges():
+        engine.state = frm
+        engine._set_state(to)
+        assert engine.state == to
+        assert engine.state_changes[-1][1:] == (frm, to)
+
+
+def test_engine_rejects_every_non_edge(engine):
+    allowed = set(iter_edges())
+    rejected = 0
+    for frm in MNPState.ALL:
+        for to in MNPState.ALL:
+            if frm == to or (frm, to) in allowed:
+                continue
+            engine.state = frm
+            with pytest.raises(TransitionError):
+                engine._set_state(to)
+            rejected += 1
+    assert rejected == len(MNPState.ALL) * (len(MNPState.ALL) - 1) \
+        - len(allowed)
+
+
+def test_fail_helper_always_drains_to_idle(engine):
+    # FAIL is reachable from DOWNLOAD and UPDATE; the _fail helper must
+    # take either straight through FAIL back to IDLE in one step.
+    for frm in (MNPState.DOWNLOAD, MNPState.UPDATE):
+        engine.state = frm
+        fails_before = engine.fails
+        engine._fail("test")
+        assert engine.state == MNPState.IDLE
+        assert engine.fails == fails_before + 1
+        assert engine.state_changes[-2][1:] == (frm, MNPState.FAIL)
+        assert engine.state_changes[-1][1:] == (MNPState.FAIL,
+                                                MNPState.IDLE)

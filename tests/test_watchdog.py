@@ -1,0 +1,210 @@
+"""Tests for the protocol invariant watchdog.
+
+Most tests drive the watchdog synthetically: they emit hand-built trace
+records into a bare simulator's tracer and assert on the verdict.  This
+is exactly the seeded-violation requirement -- the watchdog must catch an
+illegal transition that a (hypothetically buggy) protocol engine would
+emit, independent of the engine's own ``_set_state`` assertion.
+"""
+
+from repro.core.states import MNPState, iter_edges
+from repro.faults import InvariantWatchdog
+from repro.sim.kernel import Simulator
+from tests.conftest import make_world
+
+
+def make_watchdog(**kwargs):
+    sim = Simulator(seed=0)
+    return sim, InvariantWatchdog(sim, **kwargs)
+
+
+def emit_state(sim, node, frm, to):
+    sim.tracer.emit("mnp.state", node=node, frm=frm, to=to)
+
+
+# ----------------------------------------------------------------------
+# Edge legality (acceptance: catches a seeded violation)
+# ----------------------------------------------------------------------
+def test_catches_seeded_illegal_transition():
+    sim, wd = make_watchdog()
+    emit_state(sim, 1, MNPState.IDLE, MNPState.FORWARD)  # not in Fig. 4
+    verdict = wd.finish()
+    assert not verdict["ok"]
+    assert verdict["violations"][0]["invariant"] == "edge-legality"
+    assert verdict["violations"][0]["node"] == 1
+
+
+def test_every_fig4_edge_is_accepted():
+    sim, wd = make_watchdog()
+    for frm, to in iter_edges():
+        if frm is not MNPState.FAIL and to is not MNPState.FAIL:
+            emit_state(sim, 2, frm, to)
+    # FAIL edges must drain immediately, so emit them as a proper pair.
+    emit_state(sim, 2, MNPState.DOWNLOAD, MNPState.FAIL)
+    emit_state(sim, 2, MNPState.FAIL, MNPState.IDLE)
+    emit_state(sim, 2, MNPState.UPDATE, MNPState.FAIL)
+    emit_state(sim, 2, MNPState.FAIL, MNPState.IDLE)
+    verdict = wd.finish()
+    assert verdict["ok"], verdict["violations"]
+    assert verdict["records_seen"] > 0
+
+
+# ----------------------------------------------------------------------
+# FAIL transience
+# ----------------------------------------------------------------------
+def test_fail_not_drained_before_next_record_is_a_violation():
+    sim, wd = make_watchdog()
+    emit_state(sim, 3, MNPState.DOWNLOAD, MNPState.FAIL)
+    emit_state(sim, 3, MNPState.IDLE, MNPState.DOWNLOAD)  # skipped drain
+    verdict = wd.finish()
+    assert any(v["invariant"] == "fail-transient"
+               for v in verdict["violations"])
+
+
+def test_node_parked_in_fail_at_end_of_run_is_a_violation():
+    sim, wd = make_watchdog()
+    emit_state(sim, 3, MNPState.DOWNLOAD, MNPState.FAIL)
+    verdict = wd.finish()
+    assert any("still in FAIL" in v["detail"]
+               for v in verdict["violations"])
+
+
+def test_fail_leaving_to_non_idle_is_a_violation():
+    sim, wd = make_watchdog()
+    emit_state(sim, 3, MNPState.DOWNLOAD, MNPState.FAIL)
+    emit_state(sim, 3, MNPState.FAIL, MNPState.ADVERTISE)
+    verdict = wd.finish()
+    assert any(v["invariant"] == "fail-transient"
+               for v in verdict["violations"])
+
+
+# ----------------------------------------------------------------------
+# Dead nodes are silent
+# ----------------------------------------------------------------------
+def test_timer_fire_on_crashed_node_is_a_violation():
+    sim, wd = make_watchdog()
+    sim.tracer.emit("fault.crash", node=7)
+    sim.tracer.emit("timer.fire", name="n7:download")
+    verdict = wd.finish()
+    assert any(v["invariant"] == "dead-node-silent"
+               for v in verdict["violations"])
+
+
+def test_restart_lifts_the_silence_requirement():
+    sim, wd = make_watchdog()
+    sim.tracer.emit("fault.crash", node=7)
+    sim.tracer.emit("fault.restart", node=7)
+    sim.tracer.emit("timer.fire", name="n7:adv")
+    emit_state(sim, 7, MNPState.IDLE, MNPState.DOWNLOAD)
+    assert wd.finish()["ok"]
+
+
+def test_suppressed_timers_on_dead_nodes_are_fine():
+    sim, wd = make_watchdog()
+    sim.tracer.emit("fault.crash", node=7)
+    sim.tracer.emit("timer.suppressed", name="n7:download")
+    assert wd.finish()["ok"]
+
+
+# ----------------------------------------------------------------------
+# Single sender per neighborhood (advisory)
+# ----------------------------------------------------------------------
+def test_concurrent_neighborhood_senders_warn_but_do_not_fail():
+    sim, wd = make_watchdog(neighbors_fn=lambda nid: [1, 2])
+    emit_state(sim, 1, MNPState.ADVERTISE, MNPState.FORWARD)
+    emit_state(sim, 2, MNPState.ADVERTISE, MNPState.FORWARD)
+    verdict = wd.finish()
+    assert verdict["ok"]  # advisory only
+    assert verdict["warnings"][0]["invariant"] == "single-sender"
+    assert {verdict["warnings"][0]["node"],
+            verdict["warnings"][0]["other"]} == {1, 2}
+
+
+def test_sequential_senders_do_not_warn():
+    sim, wd = make_watchdog(neighbors_fn=lambda nid: [1, 2])
+    emit_state(sim, 1, MNPState.ADVERTISE, MNPState.FORWARD)
+    emit_state(sim, 1, MNPState.FORWARD, MNPState.SLEEP)
+    emit_state(sim, 2, MNPState.ADVERTISE, MNPState.FORWARD)
+    verdict = wd.finish()
+    assert verdict["ok"] and not verdict["warnings"]
+
+
+def test_out_of_range_senders_do_not_warn():
+    sim, wd = make_watchdog(neighbors_fn=lambda nid: [])
+    emit_state(sim, 1, MNPState.ADVERTISE, MNPState.FORWARD)
+    emit_state(sim, 2, MNPState.ADVERTISE, MNPState.FORWARD)
+    verdict = wd.finish()
+    assert verdict["ok"] and not verdict["warnings"]
+
+
+# ----------------------------------------------------------------------
+# Write-once EEPROM
+# ----------------------------------------------------------------------
+def test_double_written_packet_key_is_a_violation():
+    world = make_world([(0.0, 0.0)])
+    wd = InvariantWatchdog(world.sim)
+    mote = world.motes[0]
+    mote.eeprom.write((1, 1, 0), b"aa")
+    mote.eeprom.write((1, 1, 0), b"bb")
+    verdict = wd.finish(motes={0: mote})
+    assert any(v["invariant"] == "write-once"
+               for v in verdict["violations"])
+
+
+def test_missing_log_rewrites_are_exempt_from_write_once():
+    world = make_world([(0.0, 0.0)])
+    wd = InvariantWatchdog(world.sim)
+    mote = world.motes[0]
+    key = (1, 1, 0, "missing-line")  # EepromMissingLog bookkeeping
+    mote.eeprom.write(key, b"aa")
+    mote.eeprom.write(key, b"bb")
+    assert wd.finish(motes={0: mote})["ok"]
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+def test_long_gap_below_full_coverage_is_a_stall():
+    sim, wd = make_watchdog(n_nodes=3, stall_ms=1_000.0)
+    sim.schedule_at(0.0, emit_state, sim, 1, MNPState.IDLE,
+                    MNPState.DOWNLOAD)
+    sim.schedule_at(5_000.0, emit_state, sim, 1, MNPState.DOWNLOAD,
+                    MNPState.ADVERTISE)
+    sim.run_until(lambda: sim.now >= 5_000.0, check_every=100.0,
+                  deadline=10_000.0)
+    verdict = wd.finish()
+    assert not verdict["ok"]
+    assert verdict["stalls"]
+    assert verdict["stalls"][0]["gap_ms"] >= 4_000.0
+
+
+def test_no_stall_once_coverage_is_complete():
+    sim, wd = make_watchdog(n_nodes=2, stall_ms=1_000.0)
+    sim.schedule_at(0.0, lambda: sim.tracer.emit("mnp.got_code", node=1))
+    sim.schedule_at(8_000.0, emit_state, sim, 1, MNPState.SLEEP,
+                    MNPState.ADVERTISE)
+    sim.run_until(lambda: sim.now >= 8_000.0, check_every=100.0,
+                  deadline=10_000.0)
+    assert wd.finish()["ok"]  # quiet *after* everyone has the code
+
+
+# ----------------------------------------------------------------------
+# Plumbing
+# ----------------------------------------------------------------------
+def test_detach_stops_observation():
+    sim, wd = make_watchdog()
+    emit_state(sim, 1, MNPState.IDLE, MNPState.DOWNLOAD)
+    seen = wd.records_seen
+    wd.detach()
+    emit_state(sim, 1, MNPState.IDLE, MNPState.FORWARD)  # illegal, unseen
+    assert wd.records_seen == seen
+    assert wd.finish()["ok"]
+
+
+def test_finish_is_idempotent():
+    sim, wd = make_watchdog()
+    emit_state(sim, 3, MNPState.DOWNLOAD, MNPState.FAIL)
+    first = wd.finish()
+    second = wd.finish()
+    assert first == second
+    assert len(second["violations"]) == 1
