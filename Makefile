@@ -1,6 +1,6 @@
 # Convenience targets for the MNP reproduction.
 
-.PHONY: install test bench bench-paper bench-smoke examples figures clean
+.PHONY: install test test-fast conformance bench bench-paper bench-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,6 +8,14 @@ install:
 
 test:
 	pytest tests/ -q
+
+# Everything except the slow grid/chaos integration tests (tier-1 `test`
+# stays the full suite).
+test-fast:
+	pytest tests/ -q -m "not slow"
+
+conformance:
+	python -m repro conformance --budget 50 --seed 7
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

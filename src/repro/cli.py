@@ -17,7 +17,11 @@ Six commands cover the common workflows:
                  ``sweep``;
 * ``profile`` -- run the hot-path profiling workloads
                  (:mod:`repro.profiling`) and report events/sec,
-                 wall-clock, and channel counters (text or JSON).
+                 wall-clock, and channel counters (text or JSON);
+* ``conformance`` -- fuzz a budget of generated scenarios against the
+                 oracle registry (:mod:`repro.conformance`), shrink any
+                 failure to a minimal replayable spec, and exit 1 if a
+                 violation survives.
 
 Examples::
 
@@ -27,6 +31,7 @@ Examples::
     python -m repro sweep --seeds 0-9 --workers 4 --grid 6x6
     python -m repro chaos --protocols mnp,deluge --intensity 0.6 --workers 4
     python -m repro profile --grid 20x20 --json
+    python -m repro conformance --budget 50 --seed 7 --workers 4
 """
 
 import argparse
@@ -196,6 +201,35 @@ def _build_parser():
                         help="emit the full report as JSON")
     prof_p.add_argument("--output", default=None, metavar="PATH",
                         help="also write the JSON report to PATH")
+
+    conf_p = sub.add_parser(
+        "conformance",
+        help="fuzz generated scenarios against the oracle registry")
+    conf_p.add_argument("--budget", type=int, default=50,
+                        help="number of scenarios to generate (default 50)")
+    conf_p.add_argument("--seed", type=int, default=0,
+                        help="generator master seed (default 0)")
+    conf_p.add_argument("--fault-fraction", type=float, default=0.3,
+                        help="fraction of scenarios with fault plans "
+                             "(default 0.3)")
+    conf_p.add_argument("--workers", type=int, default=0,
+                        help="worker processes; 0/1 = serial (default 0)")
+    conf_p.add_argument("--cache-dir", default="benchmarks/cache",
+                        help="manifest directory (default benchmarks/cache)")
+    conf_p.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate; write nothing")
+    conf_p.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimising them")
+    conf_p.add_argument("--artifact-dir", default="tests/corpus/failures",
+                        metavar="DIR",
+                        help="where shrunk failure artifacts are written "
+                             "(default tests/corpus/failures)")
+    conf_p.add_argument("--json", action="store_true",
+                        help="emit the full verdict manifest as JSON")
+    conf_p.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the verdict JSON to PATH")
+    conf_p.add_argument("--quiet", action="store_true",
+                        help="suppress progress/heartbeat lines")
     return parser
 
 
@@ -469,6 +503,57 @@ def _cmd_profile(args, out):
     return 0
 
 
+def _cmd_conformance(args, out):
+    import json
+    import sys as _sys
+
+    from repro.conformance.harness import run_conformance, verdict_json
+
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=_sys.stderr, flush=True))
+    verdict = run_conformance(
+        budget=args.budget, seed=args.seed,
+        fault_fraction=args.fault_fraction,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+        do_shrink=not args.no_shrink,
+        artifact_dir=None if args.no_shrink else args.artifact_dir,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(verdict_json(verdict))
+    if args.json:
+        out.write(verdict_json(verdict))
+        return 0 if verdict["ok"] else 1
+    n = len(verdict["scenarios"])
+    ok = sum(1 for s in verdict["scenarios"] if s["ok"])
+    out.write(
+        f"conformance: {ok}/{n} scenario(s) clean "
+        f"({verdict['total_runs']} runs, seed {args.seed})\n"
+    )
+    for failure in verdict["failures"]:
+        out.write(
+            f"\nFAIL scenario {failure['index']} ({failure['key']}):\n"
+        )
+        for violation in failure["violations"]:
+            out.write(
+                f"  {violation['oracle']}: {violation['detail']}\n")
+        shrunk = failure.get("shrunk")
+        if shrunk:
+            out.write(
+                f"  shrunk after {shrunk['shrink_evals']} evaluation(s) "
+                f"to:\n")
+            out.write("  " + json.dumps(
+                shrunk["spec"], indent=2, sort_keys=True,
+            ).replace("\n", "\n  ") + "\n")
+        for path in failure.get("artifacts", ()):
+            out.write(f"  artifact: {path}\n")
+    if verdict["ok"]:
+        out.write("all oracles satisfied\n")
+    return 0 if verdict["ok"] else 1
+
+
 _FIGURES = {}
 
 
@@ -617,6 +702,8 @@ def main(argv=None, out=None):
         return _cmd_chaos(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
+    if args.command == "conformance":
+        return _cmd_conformance(args, out)
     return 2
 
 

@@ -1,0 +1,39 @@
+"""Conformance subsystem: generative scenario fuzzing with differential
+oracles and a shrinking reducer.
+
+* :mod:`repro.conformance.spec` -- :class:`ScenarioSpec`, the compact
+  JSON-round-trippable description one scenario is rebuilt from.
+* :mod:`repro.conformance.generator` -- :class:`ScenarioGenerator`,
+  seeded sampling of the scenario space.
+* :mod:`repro.conformance.execute` -- the runner executor
+  (``experiment="conformance"``) that simulates one scenario variant.
+* :mod:`repro.conformance.oracles` -- the oracle registry (determinism,
+  invariants, delivery, metamorphic and cross-protocol checks).
+* :mod:`repro.conformance.shrink` -- greedy spec reduction plus corpus
+  artifact emission.
+* :mod:`repro.conformance.harness` -- :func:`run_conformance`, the
+  budgeted end-to-end loop behind ``python -m repro conformance``.
+"""
+
+from repro.conformance.generator import ScenarioGenerator
+from repro.conformance.harness import (
+    evaluate_scenario,
+    run_conformance,
+    verdict_json,
+)
+from repro.conformance.oracles import ORACLES, evaluate, variants_for
+from repro.conformance.shrink import ShrinkResult, shrink
+from repro.conformance.spec import ScenarioSpec
+
+__all__ = [
+    "ORACLES",
+    "ScenarioGenerator",
+    "ScenarioSpec",
+    "ShrinkResult",
+    "evaluate",
+    "evaluate_scenario",
+    "run_conformance",
+    "shrink",
+    "variants_for",
+    "verdict_json",
+]

@@ -1,0 +1,182 @@
+"""Execute one conformance scenario variant.
+
+The oracles (:mod:`repro.conformance.oracles`) never touch a simulator:
+they are pure functions over the *metrics dicts* this module produces.
+One scenario fans out into several variants -- the base MNP run, a replica
+of it, an ideal-channel twin, a re-segmented twin, and one run per
+baseline protocol -- and each variant is one :class:`repro.runner.RunSpec`
+(``experiment="conformance"``), so the whole fan-out inherits the
+runner's content-addressed cache and process fleet.
+
+The executor is a pure function of ``(scenario, protocol, variant)``:
+worker processes, serial runs, and cache replays all produce bit-identical
+metrics, which is precisely what the determinism oracle asserts.
+"""
+
+import hashlib
+
+from repro.conformance.spec import ScenarioSpec
+from repro.core.config import MNPConfig
+from repro.experiments.common import Deployment
+from repro.faults import FaultController, FaultPlan, InvariantWatchdog
+from repro.hardware.mote import MoteConfig
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, SECOND
+
+
+def _sabotage(spec, deployment):
+    """Apply the spec's deliberate post-run damage (pipeline self-test
+    hook; see :data:`repro.conformance.spec.SABOTAGE_MODES`)."""
+    candidates = sorted(
+        nid for nid in deployment.nodes if nid != deployment.base_id
+    )
+    for node_id in candidates:
+        eeprom = deployment.motes[node_id].eeprom
+        packet_keys = sorted(
+            key for key in eeprom.write_counts
+            if len(key) == 3 and all(isinstance(p, int) for p in key)
+        )
+        if not packet_keys:
+            continue
+        key = packet_keys[0]
+        if spec.sabotage == "double-write":
+            eeprom.write(key, eeprom.read(key))
+        else:  # corrupt-content: damage the stored bytes silently
+            data = bytearray(eeprom.read(key))
+            data[0] ^= 0xFF
+            eeprom.preload(key, bytes(data))
+        return node_id
+    return None
+
+
+def _content_digest(expected, completed_nodes):
+    """(all complete nodes hold ``expected``, digest over their images).
+
+    The digest covers ``(node id, assembled bytes)`` pairs in id order,
+    so two runs agree on it iff the same nodes completed with the same
+    flash contents.
+    """
+    hasher = hashlib.sha256()
+    content_ok = True
+    for node_id, node in completed_nodes:
+        assembled = node.assemble_image() or b""
+        if assembled != expected:
+            content_ok = False
+        hasher.update(str(node_id).encode())
+        hasher.update(b"\x00")
+        hasher.update(assembled)
+        hasher.update(b"\x01")
+    return content_ok, hasher.hexdigest()
+
+
+def run_scenario(scenario, protocol="mnp", variant=None):
+    """One simulation run of ``scenario``; returns a JSON-ready metrics
+    dict.
+
+    ``variant`` tweaks the run along exactly one oracle axis:
+    ``{"replica": k}`` (ignored -- it only defeats the result cache so a
+    differential twin really re-executes), ``{"loss": "perfect"}`` (ideal
+    channel), or ``{"segment_packets": p}`` (re-split the same image
+    bytes).
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) \
+        else ScenarioSpec.from_dict(scenario)
+    variant = dict(variant or {})
+    variant.pop("replica", None)
+
+    topo = spec.build_topology()
+    image = spec.build_image(
+        segment_packets=variant.get("segment_packets"))
+    if "loss" in variant:
+        loss_model = spec.replace(
+            loss={"kind": variant["loss"]}).build_loss_model()
+    else:
+        loss_model = spec.build_loss_model()
+    protocol_config = MNPConfig(**spec.config) if protocol == "mnp" else None
+    dep = Deployment(
+        topo, image=image, protocol=protocol,
+        protocol_config=protocol_config, seed=spec.seed,
+        propagation=PropagationModel(spec.range_ft, 3.0),
+        loss_model=loss_model,
+        mote_config=MoteConfig(power_level=spec.power_level),
+    )
+
+    controller = None
+    if spec.faults is not None:
+        controller = FaultController(dep, FaultPlan.from_dict(spec.faults))
+        controller.install()
+    watchdog = None
+    if protocol == "mnp":
+        power = dep.mote_config.power_level
+        watchdog = InvariantWatchdog(
+            dep.sim, n_nodes=len(dep.nodes),
+            neighbors_fn=lambda nid: dep.channel.neighbors(nid, power),
+        )
+
+    dep.start()
+    last_fault_ms = controller.last_fault_ms if controller else 0.0
+
+    def settled():
+        if dep.sim.now < last_fault_ms:
+            return False
+        return all(
+            dep.nodes[n].has_full_image
+            for n in dep.nodes if dep.motes[n].alive
+        )
+
+    done = dep.sim.run_until(settled, check_every=SECOND,
+                             deadline=spec.deadline_min * MINUTE)
+
+    sabotaged_node = None
+    if spec.sabotage is not None:
+        sabotaged_node = _sabotage(spec, dep)
+
+    verdict = None
+    if watchdog is not None:
+        verdict = watchdog.finish(motes=dep.motes)
+        watchdog.detach()
+
+    alive = sorted(n for n in dep.nodes if dep.motes[n].alive)
+    complete = [n for n in alive if dep.nodes[n].has_full_image]
+    completed_nodes = [(n, dep.nodes[n]) for n in complete
+                       if hasattr(dep.nodes[n], "assemble_image")]
+    content_ok, content_sha = _content_digest(image.to_bytes(),
+                                              completed_nodes)
+    times = [dep.nodes[n].got_code_time for n in complete
+             if dep.nodes[n].got_code_time is not None]
+    metrics = {
+        "protocol": protocol,
+        "n_nodes": len(dep.nodes),
+        "alive": len(alive),
+        "complete": len(complete),
+        "coverage": len(complete) / len(alive) if alive else 0.0,
+        "all_complete": len(complete) == len(alive) and bool(alive),
+        "completion_ms": max(times) if times and
+        len(complete) == len(alive) else None,
+        "deadline_hit": not done,
+        "messages_sent": sum(dep.collector.tx_by_node.values()),
+        "collisions": dep.collector.collisions,
+        "content_ok": content_ok,
+        "content_sha": content_sha,
+        "image_sha": hashlib.sha256(image.to_bytes()).hexdigest(),
+        "image_bytes": image.size_bytes,
+        "n_segments": image.n_segments,
+        "watchdog": verdict,
+        "faults": controller.summary() if controller else None,
+        "sabotaged_node": sabotaged_node,
+    }
+    return metrics
+
+
+def conformance_experiment(run_spec):
+    """Runner executor (``experiment="conformance"``).
+
+    Overrides: ``scenario`` (a :meth:`ScenarioSpec.to_dict` dict,
+    required) and ``variant`` (see :func:`run_scenario`); the protocol
+    rides in ``run_spec.protocol``.
+    """
+    ov = run_spec.overrides
+    metrics = run_scenario(ov["scenario"], protocol=run_spec.protocol,
+                           variant=ov.get("variant"))
+    metrics["variant"] = dict(ov.get("variant") or {})
+    return metrics

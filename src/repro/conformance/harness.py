@@ -1,0 +1,143 @@
+"""The conformance harness: budgeted fuzzing with oracles and shrinking.
+
+:func:`run_conformance` is what ``python -m repro conformance`` invokes:
+sample ``budget`` scenarios from a seeded generator, execute every
+scenario's variant fan-out through the parallel cached
+:class:`repro.runner.Runner`, apply the oracle registry, greedily shrink
+any failure, persist replayable artifacts, and return a deterministic
+verdict manifest.
+
+The verdict is a pure function of ``(budget, seed, fault_fraction, code)``
+-- it contains no wall-clock times, worker counts, or cache statistics --
+so CI can run the same budget twice (and at different ``REPRO_WORKERS``)
+and diff the serialized JSON byte-for-byte.
+"""
+
+import json
+
+from repro.conformance.generator import ScenarioGenerator
+from repro.conformance.oracles import evaluate, variants_for
+from repro.conformance.shrink import shrink, write_failure_artifact
+from repro.conformance.spec import ScenarioSpec
+from repro.runner import Runner, RunSpec
+
+#: Scale pinned into every conformance RunSpec: scenario geometry lives in
+#: the spec itself, so the ambient REPRO_SCALE must not perturb cache keys.
+_SCALE = "smoke"
+
+
+def run_specs_for(spec):
+    """``[(role, RunSpec)]`` for one scenario's variant fan-out."""
+    scenario = spec.to_dict()
+    return [
+        (role, RunSpec(experiment="conformance", protocol=protocol,
+                       scale=_SCALE, seed=spec.seed,
+                       scenario=scenario, variant=variant))
+        for role, protocol, variant in variants_for(spec)
+    ]
+
+
+def evaluate_scenario(spec, runner=None):
+    """Run one scenario's fan-out and apply the oracles.
+
+    Returns ``(violations, runs)`` where ``runs`` maps role -> metrics.
+    With no ``runner`` the fan-out executes serially and uncached --
+    exactly what corpus replay tests and shrink candidates want.
+    """
+    if runner is None:
+        runner = Runner(workers=0, cache_dir=None)
+    pairs = run_specs_for(spec)
+    results = runner.run([rs for _, rs in pairs])
+    runs = {role: metrics for (role, _), metrics in zip(pairs, results)}
+    return evaluate(spec, runs), runs
+
+
+def run_conformance(budget, seed=0, fault_fraction=0.3, workers=0,
+                    cache_dir=None, progress=None, do_shrink=True,
+                    artifact_dir=None, max_shrink_evals=150):
+    """Fuzz ``budget`` scenarios; returns the verdict manifest (a dict).
+
+    ``verdict["ok"]`` is False iff any oracle violation survived; the CLI
+    maps that to exit status 1.  ``artifact_dir`` (usually
+    ``tests/corpus/failures``) receives one JSON + repro-snippet pair per
+    shrunk failure when set.
+    """
+    generator = ScenarioGenerator(seed=seed, fault_fraction=fault_fraction)
+    scenarios = generator.scenarios(budget)
+    runner = Runner(workers=workers, cache_dir=cache_dir, progress=progress)
+
+    # One flat batch across all scenarios, so the process fleet sees the
+    # whole fan-out at once instead of per-scenario bubbles.
+    flat, slices = [], []
+    for spec in scenarios:
+        pairs = run_specs_for(spec)
+        slices.append((len(flat), pairs))
+        flat.extend(rs for _, rs in pairs)
+    results = runner.run(flat)
+
+    scenario_reports, failures = [], []
+    for index, (spec, (offset, pairs)) in enumerate(
+            zip(scenarios, slices)):
+        runs = {
+            role: results[offset + i]
+            for i, (role, _) in enumerate(pairs)
+        }
+        violations = evaluate(spec, runs)
+        scenario_reports.append({
+            "index": index,
+            "key": spec.key(),
+            "label": spec.label(),
+            "runs": len(pairs),
+            "ok": not violations,
+            "violations": violations,
+        })
+        if violations:
+            failures.append((index, spec, violations))
+
+    failure_reports = []
+    for index, spec, violations in failures:
+        entry = {
+            "index": index,
+            "key": spec.key(),
+            "violations": violations,
+            "spec": spec.to_dict(),
+        }
+        if do_shrink:
+            if progress:
+                progress(f"[conformance] shrinking scenario {index} "
+                         f"({spec.key()})")
+            result = shrink(
+                spec, violations,
+                lambda cand: evaluate_scenario(cand, runner)[0],
+                max_evals=max_shrink_evals,
+            )
+            entry["shrunk"] = result.to_dict()
+            if artifact_dir is not None:
+                json_path, repro_path = write_failure_artifact(
+                    result, artifact_dir)
+                entry["artifacts"] = [json_path, repro_path]
+        failure_reports.append(entry)
+
+    return {
+        "version": 1,
+        "budget": budget,
+        "seed": seed,
+        "fault_fraction": fault_fraction,
+        "total_runs": len(flat),
+        "ok": not failure_reports,
+        "scenarios": scenario_reports,
+        "failures": failure_reports,
+    }
+
+
+def verdict_json(verdict):
+    """Canonical serialization (what the CI smoke job byte-compares)."""
+    return json.dumps(verdict, indent=2, sort_keys=True) + "\n"
+
+
+def replay_corpus_spec(path):
+    """Load a corpus JSON (either a bare spec or a failure artifact) and
+    return its :class:`ScenarioSpec`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return ScenarioSpec.from_dict(data.get("spec", data))

@@ -1,0 +1,201 @@
+"""The conformance oracle registry.
+
+An *oracle* is a pure predicate over the metrics of a scenario's run
+fan-out.  :func:`variants_for` decides which runs a scenario needs (the
+differential twins a fault-laden scenario cannot support are simply not
+scheduled); :func:`evaluate` feeds the collected metrics to every
+registered oracle and returns the violations.
+
+Oracles never talk to a simulator, which keeps them trivially replayable:
+a corpus test or a shrink candidate re-runs the executor and re-applies
+the same pure checks.
+
+The registry (in evaluation order):
+
+==================  ====================================================
+oracle              asserts
+==================  ====================================================
+determinism         base and replica runs produced bit-identical metrics
+invariants          no InvariantWatchdog violation on any MNP run; no
+                    liveness stall on fault-free scenarios
+content             fault-free runs: every complete node's flash equals
+                    the disseminated image byte-for-byte
+delivery            solvable scenarios: MNP reaches 100% coverage before
+                    the deadline (the paper's delivery guarantee)
+loss-monotonicity   an ideal channel never lowers coverage; on solvable
+                    scenarios it also completes
+reseg-invariance    re-splitting the same image bytes at a different
+                    segment size still completes with identical bytes
+cross-protocol      solvable scenarios: deluge and moap (and xnp when
+                    the deployment is single-hop) also reach full
+                    coverage with intact content
+==================  ====================================================
+"""
+
+#: Segment sizes the re-segmentation twin tries, in preference order; the
+#: first one differing from the scenario's own size is used.
+_RESEG_CANDIDATES = (16, 8, 32, 4)
+
+#: Baseline protocols every solvable scenario must agree with.  ``flood``
+#: is scheduled too but exempted from the coverage demand (it is an
+#: unreliable baseline by design); ``xnp`` is only scheduled on
+#: single-hop deployments (it is a single-hop protocol by design).
+_CROSS_PROTOCOLS = ("deluge", "moap")
+
+
+def reseg_packets(spec):
+    """The alternate segment size for ``spec``'s invariance twin."""
+    own = spec.image["segment_packets"]
+    for candidate in _RESEG_CANDIDATES:
+        if candidate != own:
+            return candidate
+    return own + 1
+
+
+def variants_for(spec):
+    """The run fan-out a scenario needs: ``[(role, protocol, variant)]``.
+
+    Every scenario gets a base MNP run and a replica (determinism).
+    Fault-free scenarios add an ideal-channel twin (monotonicity).
+    Solvable scenarios add the re-segmentation twin and the baseline
+    protocols.
+    """
+    runs = [("base", "mnp", None), ("replica", "mnp", {"replica": 1})]
+    if spec.faults is None and spec.loss["kind"] != "perfect":
+        runs.append(("ideal", "mnp", {"loss": "perfect"}))
+    if spec.is_solvable():
+        runs.append(("reseg", "mnp",
+                     {"segment_packets": reseg_packets(spec)}))
+        for proto in _CROSS_PROTOCOLS:
+            runs.append((f"proto:{proto}", proto, None))
+        xnp_margin = 0.75 if spec.loss["kind"] == "empirical" else 1.0
+        if spec.is_single_hop(margin=xnp_margin):
+            runs.append(("proto:xnp", "xnp", None))
+        runs.append(("proto:flood", "flood", None))
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Oracles: fn(spec, runs) -> list of detail strings.  ``runs`` maps role
+# -> metrics dict (see repro.conformance.execute.run_scenario).
+# ----------------------------------------------------------------------
+def _strip_variant(metrics):
+    return {k: v for k, v in metrics.items() if k != "variant"}
+
+
+def oracle_determinism(spec, runs):
+    base, replica = runs.get("base"), runs.get("replica")
+    if base is None or replica is None:
+        return []
+    if _strip_variant(base) != _strip_variant(replica):
+        diff = sorted(
+            k for k in _strip_variant(base)
+            if base.get(k) != replica.get(k)
+        )
+        return [f"base and replica metrics differ in fields {diff}"]
+    return []
+
+
+def oracle_invariants(spec, runs):
+    details = []
+    for role in sorted(runs):
+        verdict = runs[role].get("watchdog")
+        if verdict is None:
+            continue
+        for violation in verdict["violations"]:
+            details.append(f"{role}: {violation}")
+        if spec.faults is None:
+            for stall in verdict["stalls"]:
+                details.append(f"{role}: liveness stall: {stall}")
+    return details
+
+
+def oracle_content(spec, runs):
+    if spec.faults is not None:
+        return []
+    return [
+        f"{role}: a complete node's flash differs from the image"
+        for role in sorted(runs) if not runs[role]["content_ok"]
+    ]
+
+
+def oracle_delivery(spec, runs):
+    if not spec.is_solvable():
+        return []
+    base = runs["base"]
+    details = []
+    if base["deadline_hit"]:
+        details.append("solvable scenario hit the deadline")
+    if not base["all_complete"]:
+        details.append(
+            f"solvable scenario reached coverage {base['coverage']:.3f}"
+            f" ({base['complete']}/{base['alive']} nodes)")
+    return details
+
+
+def oracle_loss_monotonicity(spec, runs):
+    ideal = runs.get("ideal")
+    if ideal is None:
+        return []
+    base = runs["base"]
+    details = []
+    if ideal["coverage"] < base["coverage"]:
+        details.append(
+            f"ideal channel lowered coverage: {ideal['coverage']:.3f}"
+            f" < {base['coverage']:.3f}")
+    if spec.is_solvable() and not ideal["all_complete"]:
+        details.append("ideal-channel run failed to complete")
+    return details
+
+
+def oracle_reseg_invariance(spec, runs):
+    reseg = runs.get("reseg")
+    if reseg is None:
+        return []
+    base = runs["base"]
+    details = []
+    if reseg["image_sha"] != base["image_sha"]:
+        details.append("re-segmented image bytes differ from base image")
+    if not reseg["all_complete"]:
+        details.append(
+            f"segment size {reseg['variant'].get('segment_packets')}"
+            " failed to complete")
+    elif base["all_complete"] and reseg["content_sha"] != base["content_sha"]:
+        details.append("final flash contents differ across segment sizes")
+    return details
+
+
+def oracle_cross_protocol(spec, runs):
+    details = []
+    for role in sorted(runs):
+        if not role.startswith("proto:"):
+            continue
+        metrics = runs[role]
+        if role == "proto:flood":
+            continue  # unreliable by design: content oracle still applies
+        if not metrics["all_complete"] or metrics["deadline_hit"]:
+            details.append(
+                f"{metrics['protocol']} reached coverage"
+                f" {metrics['coverage']:.3f} on a solvable scenario")
+    return details
+
+
+#: name -> oracle function, in evaluation order.
+ORACLES = {
+    "determinism": oracle_determinism,
+    "invariants": oracle_invariants,
+    "content": oracle_content,
+    "delivery": oracle_delivery,
+    "loss-monotonicity": oracle_loss_monotonicity,
+    "reseg-invariance": oracle_reseg_invariance,
+    "cross-protocol": oracle_cross_protocol,
+}
+
+
+def evaluate(spec, runs):
+    """Apply every oracle; returns ``[{"oracle": name, "detail": s}]``."""
+    violations = []
+    for name, oracle in ORACLES.items():
+        for detail in oracle(spec, runs):
+            violations.append({"oracle": name, "detail": detail})
+    return violations

@@ -1,0 +1,206 @@
+"""Greedy shrinking of failing scenario specs.
+
+Hypothesis-style reduction, specialised to :class:`ScenarioSpec`: given a
+spec that fails some oracle set and a callback that re-evaluates a
+candidate, repeatedly try simpler variants and keep any candidate that
+*still fails at least one of the original oracles*.  The result is a
+locally-minimal spec -- no single simplification step preserves the
+failure -- which is what lands in the corpus as the replayable artifact.
+
+"Simpler" is ordered big-cut-first per axis (drop the whole fault plan
+before dropping single events, halve the node count before decrementing
+it), so the greedy loop converges in few evaluations; each accepted
+candidate restarts the pass, guaranteeing the fixpoint is minimal with
+respect to *every* step, not just the ones after the last acceptance.
+Every candidate is built through :meth:`ScenarioSpec.replace`, so a
+nonsensical shrink (zero nodes, empty image) fails validation and is
+skipped rather than simulated.
+"""
+
+import json
+
+from repro.conformance.spec import ScenarioSpec
+
+
+def _topology_candidates(topo):
+    """Simpler topology dicts, most aggressive first."""
+    out = []
+    kind = topo["kind"]
+    if kind == "grid":
+        rows, cols = topo["rows"], topo["cols"]
+        for r, c in ((1, 2), (max(1, rows // 2), cols),
+                     (rows, max(1, cols // 2)),
+                     (rows - 1, cols), (rows, cols - 1)):
+            if (r, c) != (rows, cols):
+                out.append(dict(topo, rows=r, cols=c))
+    elif kind == "random":
+        n = topo["n"]
+        out.append({"kind": "grid", "rows": 1, "cols": 2,
+                    "spacing_ft": 10.0})
+        for smaller in (max(2, n // 2), n - 1):
+            if smaller != n:
+                out.append(dict(topo, n=smaller))
+    else:  # clustered
+        out.append({"kind": "grid", "rows": 1, "cols": 2,
+                    "spacing_ft": 10.0})
+        if topo["clusters"] > 1:
+            out.append(dict(topo, clusters=topo["clusters"] - 1))
+        if topo["per_cluster"] > 1:
+            out.append(dict(topo, per_cluster=topo["per_cluster"] - 1))
+    return out
+
+
+def _image_candidates(image):
+    out = []
+    if image["n_segments"] > 1:
+        out.append(dict(image, n_segments=1,
+                        tail_packets=image["segment_packets"]))
+        out.append(dict(image, n_segments=image["n_segments"] - 1))
+    pk = image["segment_packets"]
+    for smaller in (max(1, pk // 2), pk - 1):
+        if 1 <= smaller < pk:
+            out.append(dict(image, segment_packets=smaller,
+                            tail_packets=min(image["tail_packets"],
+                                             smaller)))
+    if image["tail_packets"] < image["segment_packets"]:
+        out.append(dict(image, tail_packets=image["segment_packets"]))
+    if image["trim_bytes"]:
+        out.append(dict(image, trim_bytes=0))
+    return out
+
+
+def candidates(spec):
+    """Yield validated simpler specs, most aggressive first."""
+    attempts = []
+    if spec.faults is not None:
+        attempts.append({"faults": None})
+        events = spec.faults.get("specs", [])
+        for i in range(len(events)):
+            remaining = [dict(s) for j, s in enumerate(events) if j != i]
+            attempts.append({"faults": dict(spec.faults, specs=remaining)})
+    if spec.sabotage is not None:
+        attempts.append({"sabotage": None})
+    for topo in _topology_candidates(spec.topology):
+        attempts.append({"topology": topo})
+    for image in _image_candidates(spec.image):
+        attempts.append({"image": image})
+    if spec.config:
+        attempts.append({"config": {}})
+        for key in sorted(spec.config):
+            smaller = dict(spec.config)
+            del smaller[key]
+            attempts.append({"config": smaller})
+    if spec.loss["kind"] != "perfect":
+        attempts.append({"loss": {"kind": "perfect"}})
+    if spec.power_level != 255:
+        attempts.append({"power_level": 255})
+    for overrides in attempts:
+        try:
+            yield spec.replace(**overrides)
+        except ValueError:
+            continue  # shrink produced an invalid spec; skip it
+
+
+class ShrinkResult:
+    """Outcome of one reduction: the minimal spec plus the audit trail."""
+
+    def __init__(self, original, shrunk, oracles, violations, steps, evals):
+        self.original = original
+        self.shrunk = shrunk
+        self.oracles = sorted(oracles)
+        self.violations = violations
+        self.steps = steps
+        self.evals = evals
+
+    def to_dict(self):
+        return {
+            "original": self.original.to_dict(),
+            "spec": self.shrunk.to_dict(),
+            "oracles": self.oracles,
+            "violations": self.violations,
+            "shrink_steps": self.steps,
+            "shrink_evals": self.evals,
+        }
+
+
+def shrink(spec, violations, evaluate_fn, max_evals=150):
+    """Greedily minimise ``spec`` while it keeps failing.
+
+    ``violations`` is the original failure (as returned by
+    :func:`repro.conformance.oracles.evaluate`); ``evaluate_fn(spec)``
+    re-evaluates a candidate and returns its violations.  A candidate is
+    accepted iff it still trips at least one of the *original* oracles --
+    drifting onto a different bug mid-shrink would produce a repro for
+    the wrong failure.
+    """
+    target = {v["oracle"] for v in violations}
+    current, current_violations = spec, violations
+    steps, evals = [], 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in candidates(current):
+            if evals >= max_evals:
+                break
+            evals += 1
+            cand_violations = evaluate_fn(candidate)
+            if {v["oracle"] for v in cand_violations} & target:
+                steps.append(candidate.label())
+                current, current_violations = candidate, cand_violations
+                improved = True
+                break
+    kept = [v for v in current_violations if v["oracle"] in target]
+    return ShrinkResult(spec, current, target, kept, steps, evals)
+
+
+# ----------------------------------------------------------------------
+# Corpus artifacts
+# ----------------------------------------------------------------------
+_REPRO_TEMPLATE = '''\
+"""Auto-generated repro for conformance failure {key}.
+
+Shrunk from: {original_label}
+Failing oracle(s): {oracles}
+
+Replay with:  PYTHONPATH=src python -m pytest {path} -q
+"""
+
+from repro.conformance.harness import evaluate_scenario
+from repro.conformance.spec import ScenarioSpec
+
+SPEC = {spec_json}
+
+FAILING_ORACLES = {oracles!r}
+
+
+def test_repro_{key}():
+    spec = ScenarioSpec.from_dict(SPEC)
+    violations, _runs = evaluate_scenario(spec)
+    tripped = {{v["oracle"] for v in violations}}
+    assert not tripped & set(FAILING_ORACLES), violations
+'''
+
+
+def write_failure_artifact(result, directory):
+    """Persist a :class:`ShrinkResult` as ``<key>.json`` plus a runnable
+    ``repro_<key>.py`` pytest snippet; returns both paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    key = result.shrunk.key()
+    json_path = os.path.join(directory, f"{key}.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    repro_path = os.path.join(directory, f"repro_{key}.py")
+    snippet = _REPRO_TEMPLATE.format(
+        key=key,
+        original_label=result.original.label(),
+        oracles=result.oracles,
+        path=repro_path,
+        spec_json=json.dumps(result.shrunk.to_dict(), indent=4,
+                             sort_keys=True),
+    )
+    with open(repro_path, "w", encoding="utf-8") as fh:
+        fh.write(snippet)
+    return json_path, repro_path

@@ -76,13 +76,18 @@ class MNPConfig:
         §3.5: reboot as soon as the image completes instead of waiting for
         the external start signal.
     fail_backoff_base_ms / fail_backoff_factor / fail_backoff_max_ms:
-        Bounded exponential backoff (with jitter) added to the download
-        *request* delay after consecutive FAIL -> IDLE cycles, so a node
-        cut off from every serviceable sender (a partition, a dead
-        parent) does not hammer the channel with doomed requests forever.
-        After ``k`` consecutive fails the extra delay is
-        ``min(base * factor**(k-1), max) * U[0.5, 1.5]``; a completed
-        segment resets the streak.  The default base of 0 disables the
+        Bounded exponential backoff (with jitter) suppressing download
+        requests after consecutive FAIL -> IDLE cycles, so a node cut
+        off from every serviceable sender (a partition, a dead parent)
+        does not hammer the channel with doomed requests forever.  After
+        ``k`` consecutive fails, advertisements are ignored for
+        ``min(base * factor**(k-1), max) * U[0.5, 1.5]`` ms; the first
+        advertisement after the window is answered with the normal
+        request jitter (the backoff gates *which* advertisement is
+        answered -- delaying the answer itself would push it past an
+        idle-sleeping source's post-advertisement listen window).  A
+        completed segment resets the streak.  The default base of 0
+        disables the
         mechanism entirely, matching pre-fault-layer behavior exactly
         (no extra delay *and* no extra RNG draws).
     """

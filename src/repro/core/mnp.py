@@ -185,6 +185,13 @@ class MNPNode:
         # Consecutive FAIL -> IDLE cycles since the last completed
         # segment; drives the request backoff (MNPConfig.fail_backoff_*).
         self._fail_streak = 0
+        # Advertisements heard before this time are not answered (the
+        # fail backoff).  The backoff must gate *which* advertisement is
+        # answered rather than delay the answer itself: an idle-sleeping
+        # source only listens for request_delay_ms + 150 ms after each
+        # advertisement, so a reply pushed past that window would be lost
+        # against a sleeping radio on every round, forever.
+        self._backoff_until = 0.0
 
         mote.mac.on_receive = self._on_frame
         mote.mac.on_send_done = self._on_send_done
@@ -296,6 +303,7 @@ class MNPNode:
         self.req_ctr = 0
         self._requesters.clear()
         self._fail_streak = 0
+        self._backoff_until = 0.0
         self._adv_interval = self.config.adv_interval_ms
         self.start()
 
@@ -504,8 +512,10 @@ class MNPNode:
         self._adv_timer.start(self.mote.rng.uniform(1.0, 50.0))
 
     def _switch_offer(self, seg_id):
-        """Start advertising (collecting requests for) a lower segment
-        (§3.1.2 rule 3)."""
+        """Start advertising (collecting requests for) a different
+        segment: lower on overheard demand (§3.1.2 rule 3), or higher
+        when the offered segment has no requesters but a later one we
+        hold does."""
         self.offer_seg = seg_id
         self.req_ctr = 0
         self._requesters.clear()
@@ -787,6 +797,11 @@ class MNPNode:
         """
         self.fails += 1
         self._fail_streak += 1
+        backoff = self._fail_backoff_ms()
+        if backoff:
+            self._backoff_until = (
+                self.sim.now + backoff * self.mote.rng.uniform(0.5, 1.5)
+            )
         self._stop_all_timers()
         self._set_state(MNPState.FAIL)
         self.sim.tracer.emit(
@@ -797,8 +812,9 @@ class MNPNode:
         self._set_state(MNPState.IDLE)
 
     def _fail_backoff_ms(self):
-        """Extra request delay after consecutive fails (0 when disabled
-        or when the last attempt succeeded); bounded exponential."""
+        """Advertisement-suppression window after consecutive fails (0
+        when disabled or when the last attempt succeeded); bounded
+        exponential."""
         base = self.config.fail_backoff_base_ms
         if not base or not self._fail_streak:
             return 0.0
@@ -914,13 +930,11 @@ class MNPNode:
         # Requester tasks (Fig. 3): ask for the next segment we need,
         # after a random delay so that requesters hidden from one another
         # do not collide at the source on every round.
-        if self._needs_code_from(adv) and not self._request_timer.running:
+        if self._needs_code_from(adv) and not self._request_timer.running \
+                and self.sim.now >= self._backoff_until:
             self._request_dest = adv.source_id
             self._request_echo = adv.req_ctr
             delay = self.mote.rng.uniform(0, self.config.request_delay_ms)
-            backoff = self._fail_backoff_ms()
-            if backoff:
-                delay += backoff * self.mote.rng.uniform(0.5, 1.5)
             self._request_timer.start(delay)
         # Source competition (Fig. 2(b)).
         if self.state == MNPState.ADVERTISE and self.config.sender_selection:
@@ -964,6 +978,13 @@ class MNPNode:
             if req.seg_id > self.rvd_seg:
                 return  # we cannot serve a segment we do not have
             if req.seg_id < self.offer_seg:
+                self._switch_offer(req.seg_id)
+            elif req.seg_id > self.offer_seg and self.req_ctr == 0:
+                # The offer was pulled down (overheard demand for a lower
+                # segment) but that demand is gone and this requester
+                # needs a later segment we hold.  Without re-aiming, the
+                # node would advertise the low segment forever and drop
+                # every request for the one actually needed.
                 self._switch_offer(req.seg_id)
             if req.seg_id == self.offer_seg:
                 if req.requester_id not in self._requesters:

@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "density": "repro.experiments.density:density_experiment",
     "power": "repro.experiments.power_sweep:power_experiment",
     "chaos": "repro.experiments.chaos:chaos_experiment",
+    "conformance": "repro.conformance.execute:conformance_experiment",
 }
 
 

@@ -13,6 +13,9 @@ from repro.runner import Runner, RunSpec
 
 import pytest
 
+# Full grid/chaos simulations: deselected by `make test-fast`.
+pytestmark = pytest.mark.slow
+
 
 SMOKE = dict(rows=3, cols=3, n_segments=1, segment_packets=16)
 

@@ -116,10 +116,67 @@ def test_run_json_output():
     ("ablations", "design-choice ablations"),
     ("fig7", "sender order"),
 ])
+@pytest.mark.slow
 def test_every_figure_command_renders(figure, needle):
     code, text = run_cli(["figure", figure])
     assert code == 0
     assert needle.lower() in text.lower()
+
+
+def test_conformance_clean_budget():
+    code, text = run_cli([
+        "conformance", "--budget", "2", "--seed", "123", "--no-cache",
+        "--quiet",
+    ])
+    assert code == 0
+    assert "conformance: 2/2 scenario(s) clean" in text
+    assert "all oracles satisfied" in text
+
+
+def test_conformance_json_verdict(tmp_path):
+    import json
+
+    out_path = tmp_path / "verdict.json"
+    code, text = run_cli([
+        "conformance", "--budget", "2", "--seed", "123", "--no-cache",
+        "--quiet", "--json", "--output", str(out_path),
+    ])
+    assert code == 0
+    verdict = json.loads(text)
+    assert verdict["ok"] and verdict["budget"] == 2
+    assert out_path.read_text() == text
+
+
+def test_conformance_exit_1_and_shrunk_spec_on_violation(monkeypatch,
+                                                         tmp_path):
+    # The surviving-violation exit path, without needing a real bug in
+    # the tree: substitute a verdict with one shrunk failure.
+    import repro.cli as cli
+
+    failing = {
+        "version": 1, "budget": 1, "seed": 0, "fault_fraction": 0.3,
+        "total_runs": 2, "ok": False,
+        "scenarios": [{"index": 0, "key": "deadbeef0000",
+                       "label": "grid 1x2", "runs": 2, "ok": False,
+                       "violations": [{"oracle": "delivery",
+                                       "detail": "stuck"}]}],
+        "failures": [{
+            "index": 0, "key": "deadbeef0000",
+            "violations": [{"oracle": "delivery", "detail": "stuck"}],
+            "spec": {"seed": 0},
+            "shrunk": {"spec": {"seed": 0}, "oracles": ["delivery"],
+                       "shrink_evals": 3, "shrink_steps": []},
+            "artifacts": [str(tmp_path / "deadbeef0000.json")],
+        }],
+    }
+    monkeypatch.setattr("repro.conformance.harness.run_conformance",
+                        lambda **kw: failing)
+    code, text = run_cli(["conformance", "--budget", "1", "--quiet",
+                          "--no-cache"])
+    assert code == 1
+    assert "FAIL scenario 0" in text
+    assert "delivery: stuck" in text
+    assert "shrunk after 3 evaluation(s)" in text
 
 
 def test_chaos_text_table():

@@ -1,0 +1,44 @@
+"""Replay every committed corpus spec against the oracle registry.
+
+The corpus (see ``tests/corpus/README.md``) locks in current behavior:
+each spec spans a different axis of the scenario space, and every oracle
+must stay green on all of them.  A failure here means a code change
+altered protocol behavior on a scenario the conformance harness already
+certified -- either fix the regression or consciously re-record the
+corpus and say so in the commit.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.conformance.harness import evaluate_scenario, replay_corpus_spec
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_seeded():
+    assert len(CORPUS_FILES) >= 5, (
+        "the behavior-locking corpus went missing; see tests/corpus/README.md"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in CORPUS_FILES])
+def test_corpus_spec_replays_clean(path):
+    spec = replay_corpus_spec(path)
+    violations, runs = evaluate_scenario(spec)
+    assert violations == [], (
+        f"corpus spec {os.path.basename(path)} ({spec.label()}) regressed")
+    assert "base" in runs and "replica" in runs
+
+
+def test_failure_artifacts_replay_as_specs():
+    # Any committed shrunk-failure artifact must still load; its repro
+    # snippet (repro_*.py) is executed by pointing pytest at it directly.
+    for path in glob.glob(os.path.join(CORPUS_DIR, "failures", "*.json")):
+        spec = replay_corpus_spec(path)
+        assert spec.n_nodes >= 2

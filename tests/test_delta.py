@@ -159,3 +159,83 @@ def test_property_edited_images_reconstruct(base, edits):
     new = bytes(new)
     delta = encode_delta(base, new, block_size=16)
     assert apply_delta(base, delta) == new
+
+
+# ----------------------------------------------------------------------
+# Direct unit coverage (previously only exercised through experiments)
+# ----------------------------------------------------------------------
+def test_byte_accounting_accessors():
+    delta = Delta([CopyOp(0, 40), LiteralOp(b"abc"), CopyOp(50, 10),
+                   LiteralOp(b"de")])
+    assert delta.copied_bytes() == 50
+    assert delta.literal_bytes() == 5
+    assert delta.wire_size == len(delta.to_bytes())
+    assert "50B copied" in repr(delta)
+
+
+def test_op_equality_and_repr():
+    assert CopyOp(3, 5) == CopyOp(3, 5)
+    assert CopyOp(3, 5) != CopyOp(3, 6)
+    assert CopyOp(3, 5) != LiteralOp(b"xxxxx")
+    assert LiteralOp(b"ab") == LiteralOp(b"ab")
+    assert LiteralOp(b"ab") != LiteralOp(b"ba")
+    assert "old[3:+5]" in repr(CopyOp(3, 5))
+    assert "2B" in repr(LiteralOp(b"ab"))
+
+
+def test_literal_op_copies_input_bytes():
+    buf = bytearray(b"mutable")
+    op = LiteralOp(buf)
+    buf[0] = 0
+    assert op.data == b"mutable"
+
+
+def test_unknown_op_rejected_everywhere():
+    class Bogus:
+        pass
+
+    with pytest.raises(DeltaError):
+        Delta([Bogus()]).to_bytes()
+    with pytest.raises(DeltaError):
+        apply_delta(b"base", Delta([Bogus()]))
+
+
+def test_long_literal_split_across_ops():
+    # Literal lengths are u16 on the wire, so a 100 KB literal must be
+    # chunked the same way long copies are.
+    data = bytes(i % 251 for i in range(100_000))
+    delta = Delta([LiteralOp(data)])
+    parsed = Delta.from_bytes(delta.to_bytes())
+    assert len(parsed.ops) == -(-len(data) // 0xFFFF)
+    assert apply_delta(b"", parsed) == data
+
+
+def test_min_match_discards_short_matches():
+    # One shared block surrounded by noise: with min_match above the
+    # shared run's length the encoder must ship everything literally.
+    shared = bytes(range(16))
+    old = b"\xaa" * 64 + shared + b"\xbb" * 64
+    new = b"\xcc" * 64 + shared + b"\xdd" * 64
+    liberal = encode_delta(old, new, block_size=8, min_match=8)
+    assert liberal.copied_bytes() >= 16
+    strict = encode_delta(old, new, block_size=8, min_match=64)
+    assert strict.copied_bytes() == 0
+    assert apply_delta(old, strict) == new
+
+
+def test_tail_shorter_than_block_is_literal():
+    old = bytes(range(64))
+    new = old + b"tail"  # 4-byte tail < block_size
+    delta = encode_delta(old, new, block_size=16)
+    assert apply_delta(old, delta) == new
+    assert isinstance(delta.ops[-1], LiteralOp)
+    assert delta.ops[-1].data.endswith(b"tail")
+
+
+def test_reconstruct_image_matches_apply_delta():
+    old = bytes(range(256)) * 2
+    new = old[:64] + b"PATCHED" + old[64:]
+    blob = encode_delta(old, new, block_size=16).to_bytes()
+    assert reconstruct_image(old, blob) == new
+    with pytest.raises(DeltaError):
+        reconstruct_image(old, blob[:5])  # truncated script

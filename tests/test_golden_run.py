@@ -16,6 +16,11 @@ from repro.net.topology import Topology
 from repro.radio.propagation import PropagationModel
 from repro.sim.kernel import MINUTE
 
+import pytest
+
+# Full grid/chaos simulations: deselected by `make test-fast`.
+pytestmark = pytest.mark.slow
+
 GOLDEN_SEED = 42
 GOLDEN_COMPLETION_MS = 30681.958991649193
 GOLDEN_MESSAGES = 416

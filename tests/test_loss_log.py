@@ -116,3 +116,58 @@ def test_property_matches_reference_set(n, clears):
     assert log.first_set() == (min(reference) if reference else None)
     for probe in list(reference)[:10]:
         assert log.test(probe)
+
+
+# ----------------------------------------------------------------------
+# Direct unit coverage (previously only exercised through experiments)
+# ----------------------------------------------------------------------
+def test_len_and_repr():
+    _, log = make(300)
+    assert len(log) == 300
+    assert "300/300 missing" in repr(log)
+    log.clear(0)
+    assert "299/300" in repr(log)
+    assert "3 lines" in repr(log)
+
+
+def test_fresh_summary():
+    _, log = make(40)
+    assert log.summary() == (40, 0)
+
+
+def test_close_without_dirty_cache_writes_nothing():
+    eeprom, log = make(256)
+    writes_after_setup = eeprom.write_ops
+    log.test(0)      # loads a line but does not dirty it
+    log.close()
+    assert eeprom.write_ops == writes_after_setup
+
+
+def test_redundant_clear_does_not_dirty_cache():
+    eeprom, log = make(128)
+    log.clear(5)
+    log.close()
+    flushed = eeprom.write_ops
+    log.clear(5)     # already cleared: nothing changes
+    log.close()
+    assert eeprom.write_ops == flushed
+
+
+def test_clear_across_lines_flushes_dirty_line():
+    eeprom, log = make(_BITS_PER_LINE * 2)
+    writes_after_setup = eeprom.write_ops
+    log.clear(0)                     # dirties line 0
+    log.clear(_BITS_PER_LINE)        # must flush line 0 to load line 1
+    assert eeprom.write_ops == writes_after_setup + 1
+    # And the flushed state is really in flash, not just the cache.
+    assert eeprom.read(log._line_key(0)) & 1 == 0
+
+
+def test_first_set_summary_agree_across_lines():
+    _, log = make(_BITS_PER_LINE * 3)
+    for i in range(_BITS_PER_LINE + 7):
+        log.clear(i)
+    expected_first = _BITS_PER_LINE + 7
+    assert log.first_set() == expected_first
+    count, first = log.summary()
+    assert (count, first) == (len(log) - expected_first, expected_first)

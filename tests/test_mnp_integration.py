@@ -14,6 +14,11 @@ from repro.net.topology import Topology
 from repro.radio.propagation import PropagationModel
 from repro.sim.kernel import MINUTE
 
+import pytest
+
+# Full grid/chaos simulations: deselected by `make test-fast`.
+pytestmark = pytest.mark.slow
+
 
 def run(topo, image, cfg=None, seed=0, loss=None, propagation=None,
         deadline_min=30, base_id=None):
