@@ -184,12 +184,23 @@ def _build_parser():
 
     prof_p = sub.add_parser(
         "profile",
-        help="profile hot-path events/sec (saturation + dissemination)")
-    prof_p.add_argument("--grid", type=_parse_grid, default=(20, 20),
-                        metavar="RxC", help="grid shape (default 20x20)")
+        help="profile hot-path events/sec "
+             "(saturation + dissemination; megagrid for 100x100)")
+    prof_p.add_argument("--grid", type=_parse_grid, default=None,
+                        metavar="RxC",
+                        help="grid shape (default: per workload -- 20x20, "
+                             "megagrid 100x100)")
     prof_p.add_argument("--seed", type=int, default=0)
-    prof_p.add_argument("--workloads", default="saturation,dissemination",
-                        help="comma list of workloads (default both)")
+    prof_p.add_argument("--workloads", "--workload", dest="workloads",
+                        default="saturation,dissemination",
+                        help="comma list of workloads (default "
+                             "saturation,dissemination; also: megagrid)")
+    prof_p.add_argument("--shards", type=int, default=None,
+                        help="megagrid: run region-sharded as an NxN "
+                             "tiling (default: monolithic)")
+    prof_p.add_argument("--workers", type=int, default=None,
+                        help="megagrid: shard worker processes; "
+                             "0/1 = serial (default 0)")
     prof_p.add_argument("--frames", type=int, default=None,
                         help="saturation: frames per node (default 96)")
     prof_p.add_argument("--range", type=float, default=None, dest="range_ft",
@@ -471,7 +482,7 @@ def _cmd_profile(args, out):
 
     from repro.profiling import WORKLOADS, render_profile, run_profile
 
-    rows, cols = args.grid
+    rows, cols = args.grid if args.grid else (None, None)
     workloads = tuple(
         name.strip() for name in args.workloads.split(",") if name.strip()
     )
@@ -490,6 +501,10 @@ def _cmd_profile(args, out):
         overrides["range_ft"] = args.range_ft
     if args.segment_packets is not None:
         overrides["segment_packets"] = args.segment_packets
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     report = run_profile(workloads=workloads, rows=rows, cols=cols,
                          seed=args.seed, **overrides)
     if args.output:

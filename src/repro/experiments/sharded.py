@@ -1,0 +1,43 @@
+"""Runner executor for region-sharded mega-scale grids.
+
+Thin declarative wrapper around
+:class:`repro.sim.vector_kernel.ShardedGrid` so sharded runs flow
+through the PR 1 runner (content-hashed caching, manifests, sweeps).
+``spec.overrides`` keys map onto :class:`ShardPlan` fields; ``workers``
+selects the backend (0/1 serial, >= 2 process pool) without affecting
+results -- both backends are byte-identical by construction.
+"""
+
+from repro.sim.vector_kernel import ShardPlan, ShardedGrid
+
+
+def sharded_experiment(spec):
+    """Runner executor (``experiment="sharded"``).
+
+    Recognised overrides: ``rows``, ``cols``, ``spacing_ft``,
+    ``range_ft``, ``tiles_x``, ``tiles_y``, ``epoch_ms``,
+    ``n_segments``, ``segment_packets``, ``deadline_min``, ``workers``.
+    Returns the sharded result dict (see :meth:`ShardedGrid.run`)
+    without the per-tile breakdown, which is bulky and derivable.
+    """
+    from repro.experiments.scale import get_scale
+
+    scale = get_scale(spec.scale)
+    ov = spec.overrides
+    plan = ShardPlan(
+        rows=ov.get("rows", scale.grid[0]),
+        cols=ov.get("cols", scale.grid[1]),
+        spacing_ft=ov.get("spacing_ft", 10.0),
+        range_ft=ov.get("range_ft", 21.0),
+        tiles_x=ov.get("tiles_x", 2),
+        tiles_y=ov.get("tiles_y", 2),
+        epoch_ms=ov.get("epoch_ms", 2000.0),
+        n_segments=ov.get("n_segments", scale.n_segments),
+        segment_packets=ov.get("segment_packets", scale.segment_packets),
+        seed=spec.seed,
+        deadline_min=ov.get("deadline_min", 480.0),
+        protocol=spec.protocol,
+    )
+    result = ShardedGrid(plan, workers=ov.get("workers", 0)).run()
+    result.pop("tiles", None)
+    return result

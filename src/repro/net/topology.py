@@ -136,17 +136,29 @@ class Topology:
             self._grid_indices[cell_ft] = index
         return index
 
+    @staticmethod
+    def radius_class(radius_ft):
+        """Cell size class serving ``radius_ft``: the smallest power of
+        two >= the radius.  Quantizing keeps the number of cached
+        indexes logarithmic in the radius spread, so a power sweep over
+        arbitrary ranges shares a handful of indexes instead of paying
+        an O(n) index build (and its memory) per distinct radius."""
+        return 2.0 ** math.ceil(math.log2(radius_ft))
+
     def nodes_within(self, i, radius_ft):
         """Ids of all nodes other than ``i`` at distance <= ``radius_ft``,
         in ascending id order.
 
-        Served by the uniform-grid index (O(neighborhood)); degenerate
-        radii fall back to the linear scan.  Both paths return identical
-        lists.
+        Served by the uniform-grid index of the radius's power-of-two
+        class (O(neighborhood)): the scan window covers every cell
+        overlapping the query disc, so any radius <= the class cell size
+        resolves exactly.  Degenerate radii fall back to the linear
+        scan.  Both paths return identical lists.
         """
         if radius_ft <= 0:
             return self.nodes_within_linear(i, radius_ft)
-        return self.grid_index(radius_ft).nodes_within(i, radius_ft)
+        cell = self.radius_class(radius_ft)
+        return self.grid_index(cell).nodes_within(i, radius_ft)
 
     def nodes_within_linear(self, i, radius_ft):
         """Reference O(n) scan (differential-tested against the index)."""

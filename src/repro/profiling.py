@@ -28,7 +28,7 @@ import time
 from repro.core.segments import CodeImage
 from repro.net.loss_models import EmpiricalLossModel
 from repro.net.topology import Topology
-from repro.radio.channel import Channel
+from repro.radio.channel import make_channel
 from repro.radio.mac import CsmaMac
 from repro.radio.propagation import PropagationModel
 from repro.radio.radio import Radio
@@ -89,8 +89,8 @@ def profile_saturation(rows=20, cols=20, spacing_ft=10.0, range_ft=13.0,
     """
     sim = Simulator(seed=seed)
     topology = Topology.grid(rows, cols, spacing_ft)
-    channel = Channel(sim, topology, EmpiricalLossModel(seed=seed),
-                      PropagationModel(range_ft, 3.0), seed=seed)
+    channel = make_channel(sim, topology, EmpiricalLossModel(seed=seed),
+                           PropagationModel(range_ft, 3.0), seed=seed)
     senders = []
     for node_id in topology.node_ids():
         radio = Radio(sim, node_id)
@@ -174,17 +174,119 @@ def profile_dissemination(rows=20, cols=20, spacing_ft=10.0, range_ft=13.0,
     }
 
 
+def profile_megagrid(rows=100, cols=100, spacing_ft=10.0, range_ft=21.0,
+                     n_segments=1, segment_packets=24, seed=0,
+                     deadline_min=480.0, shards=0, workers=0):
+    """Mega-scale MNP dissemination (ROADMAP: "100x100 is interactive").
+
+    The wider radio range (degree ~12 at 10 ft spacing) is the regime
+    where the vectorized channel's positional link-budget rows and
+    blocked draws pay off.  With ``shards == 0`` this is one monolithic
+    deployment: the end-to-end number, directly comparable -- identical
+    ``checks`` -- between the scalar (``REPRO_NO_VECTOR=1``) and
+    vectorized channels.  With ``shards >= 2`` the grid runs under the
+    region-sharded driver as a ``shards x shards`` tiling fanned out
+    over ``workers`` processes; boundary semantics are then
+    approximate-but-deterministic (ghost traffic arrives one epoch
+    late), so its ``checks`` are sharded-specific and must not be
+    compared to the monolithic run.
+    """
+    if shards and shards >= 2:
+        from repro.sim.vector_kernel import ShardPlan, ShardedGrid
+
+        plan = ShardPlan(rows=rows, cols=cols, spacing_ft=spacing_ft,
+                         range_ft=range_ft, tiles_x=shards, tiles_y=shards,
+                         n_segments=n_segments,
+                         segment_packets=segment_packets, seed=seed,
+                         deadline_min=deadline_min)
+        wall0 = time.perf_counter()
+        result = ShardedGrid(plan, workers=workers).run()
+        wall_s = time.perf_counter() - wall0
+        events = result["events"]
+        return {
+            "workload": {
+                "name": "megagrid",
+                "grid": [rows, cols],
+                "spacing_ft": spacing_ft,
+                "range_ft": range_ft,
+                "n_segments": n_segments,
+                "segment_packets": segment_packets,
+                "seed": seed,
+                "deadline_min": deadline_min,
+                "shards": shards,
+                "workers": workers,
+            },
+            "events": events,
+            "wall_s": wall_s,
+            "events_per_sec": events / wall_s if wall_s else None,
+            "sim_ms": result["sim_ms"],
+            "counters": {
+                "ghost_transmissions": result["ghost_transmissions"],
+                "epochs": result["epochs"],
+                "tiles": shards * shards,
+            },
+            "checks": {
+                "coverage": result["coverage"],
+                "completion_ms": result["completion_ms"],
+                "messages_sent": result["messages_sent"],
+                "collisions": result["collisions"],
+            },
+        }
+    from repro.experiments.common import Deployment
+
+    topology = Topology.grid(rows, cols, spacing_ft)
+    image = CodeImage.random(1, n_segments=n_segments,
+                             segment_packets=segment_packets, seed=seed)
+    deployment = Deployment(
+        topology, image=image, protocol="mnp", seed=seed,
+        propagation=PropagationModel(range_ft, 3.0),
+        loss_model=EmpiricalLossModel(seed=seed),
+    )
+    wall0 = time.perf_counter()
+    result = deployment.run_to_completion(deadline_ms=deadline_min * MINUTE)
+    wall_s = time.perf_counter() - wall0
+    events = deployment.sim.events_executed
+    return {
+        "workload": {
+            "name": "megagrid",
+            "grid": [rows, cols],
+            "spacing_ft": spacing_ft,
+            "range_ft": range_ft,
+            "n_segments": n_segments,
+            "segment_packets": segment_packets,
+            "seed": seed,
+            "deadline_min": deadline_min,
+            "shards": 0,
+            "workers": 0,
+        },
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_sec": events / wall_s if wall_s else None,
+        "sim_ms": deployment.sim.now,
+        "counters": _channel_counters(deployment.channel),
+        "checks": {
+            "coverage": result.coverage,
+            "completion_ms": result.completion_time_ms,
+            "messages_sent": sum(result.messages_sent().values()),
+            "collisions": result.collector.collisions,
+        },
+    }
+
+
 #: Workload name -> profile function (keyword args: grid + seed).
 WORKLOADS = {
     "saturation": profile_saturation,
     "dissemination": profile_dissemination,
+    "megagrid": profile_megagrid,
 }
 
 
-def run_profile(workloads=("saturation", "dissemination"), rows=20, cols=20,
-                seed=0, **overrides):
+def run_profile(workloads=("saturation", "dissemination"), rows=None,
+                cols=None, seed=0, **overrides):
     """Run the requested phases and aggregate events/sec.
 
+    ``rows``/``cols`` default to each workload's own grid (20x20 for
+    saturation/dissemination, 100x100 for megagrid) when None.
     ``overrides`` are passed to every workload function that accepts
     them (unknown keys for a given workload are dropped).
     """
@@ -200,11 +302,15 @@ def run_profile(workloads=("saturation", "dissemination"), rows=20, cols=20,
             ) from None
         accepted = inspect.signature(fn).parameters
         kwargs = {k: v for k, v in overrides.items() if k in accepted}
-        phases.append(fn(rows=rows, cols=cols, seed=seed, **kwargs))
+        phase_rows = rows if rows is not None else accepted["rows"].default
+        phase_cols = cols if cols is not None else accepted["cols"].default
+        phases.append(fn(rows=phase_rows, cols=phase_cols, seed=seed,
+                         **kwargs))
     total_events = sum(p["events"] for p in phases)
     total_wall = sum(p["wall_s"] for p in phases)
     return {
-        "grid": [rows, cols],
+        # None means "per-workload defaults"; each phase records its own.
+        "grid": [rows, cols] if rows is not None else None,
         "seed": seed,
         "phases": phases,
         "totals": {
@@ -219,25 +325,34 @@ def run_profile(workloads=("saturation", "dissemination"), rows=20, cols=20,
 def render_profile(report):
     """Human-readable rendering of a :func:`run_profile` report."""
     lines = []
-    rows, cols = report["grid"]
-    lines.append(f"hot-path profile on a {rows}x{cols} grid "
-                 f"(seed {report['seed']})")
+    if report["grid"]:
+        rows, cols = report["grid"]
+        lines.append(f"hot-path profile on a {rows}x{cols} grid "
+                     f"(seed {report['seed']})")
+    else:
+        lines.append(f"hot-path profile, per-workload grids "
+                     f"(seed {report['seed']})")
     for phase in report["phases"]:
         w = phase["workload"]
         c = phase["counters"]
-        lines.append(f"  {w['name']}:")
+        lines.append(f"  {w['name']} ({w['grid'][0]}x{w['grid'][1]}):")
         lines.append(f"    events:          {phase['events']}")
         lines.append(f"    wall:            {phase['wall_s']:.2f} s")
         lines.append(f"    events/sec:      {phase['events_per_sec']:,.0f}")
         lines.append(f"    sim time:        {phase['sim_ms'] / 1000:.1f} s")
-        lines.append(f"    transmissions:   {c['transmissions']}")
-        lines.append(f"    carrier polls:   {c['carrier_polls']}")
-        lines.append(
-            f"    link cache:      "
-            + (f"{c['link_cache_hits']} hits, "
-               f"{c['link_cache_misses']} misses"
-               if c["link_cache_enabled"] else "disabled")
-        )
+        if "transmissions" in c:
+            lines.append(f"    transmissions:   {c['transmissions']}")
+            lines.append(f"    carrier polls:   {c['carrier_polls']}")
+            lines.append(
+                f"    link cache:      "
+                + (f"{c['link_cache_hits']} hits, "
+                   f"{c['link_cache_misses']} misses"
+                   if c["link_cache_enabled"] else "disabled")
+            )
+        if "ghost_transmissions" in c:
+            lines.append(f"    tiles:           {c['tiles']} "
+                         f"({c['epochs']} epochs)")
+            lines.append(f"    ghost tx:        {c['ghost_transmissions']}")
     totals = report["totals"]
     lines.append(f"  total: {totals['events']} events in "
                  f"{totals['wall_s']:.2f} s "

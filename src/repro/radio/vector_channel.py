@@ -1,0 +1,379 @@
+"""Vectorized/table-driven channel: the mega-scale hot path.
+
+:class:`VectorChannel` is a drop-in subclass of
+:class:`repro.radio.channel.Channel` that replaces the per-event object
+dance with preallocated tables and batched draws:
+
+* **State tables** -- carrier counters, radio power state, and
+  transmitting flags live in dense node-id-indexed tables instead of
+  dicts and attribute chains, so carrier sense and the per-listener
+  reception-opening loop touch flat memory.
+* **Link-budget rows** -- for each ``(src, range, frame size)`` the
+  decode probabilities of the *whole* neighbor row are materialized once
+  (through the scalar :meth:`Channel._decode_probability`, so every
+  float is bit-identical to the scalar path) as a destination-keyed map
+  plus a dense array; resolution looks a probability up with one int
+  hash instead of hashing a 4-tuple per reception.
+* **Blocked link-loss draws** -- uniforms come from
+  :class:`repro.sim.vector_kernel.BlockRng`, whose Mersenne-Twister
+  state is transplanted from the scalar channel stream and which samples
+  the generator in vectorized blocks.  Chunked MT19937 sampling yields
+  the same sequence as draw-by-draw sampling, so virtual outcomes cannot
+  diverge.  Narrow transmissions consume the prefetched buffer inline
+  (a list index per draw -- cheaper than a scalar ``random()`` call);
+  batches of ``GATHER_MIN``-plus surviving receptions are resolved with
+  one numpy block compare against the gathered link budgets.
+
+Determinism contract (pinned by ``tests/test_vector_differential.py``
+and the conformance determinism oracle):
+
+* The scalar channel is the *oracle*: for any seed, workload, loss
+  model (static or time-varying), fault plan, and decode hook, the
+  vectorized channel produces bit-identical virtual outcomes -- event
+  counts, simulated clock, per-node metrics, trace streams.
+* The narrow path mirrors the scalar resolution loop statement for
+  statement, so its equivalence is structural.  The wide path is
+  split-phase -- reception bookkeeping first, then the draw block, then
+  deliveries in receiver order -- which is equivalent to the scalar
+  interleaved loop because delivery callbacks never mutate *another*
+  node's radio or receptions and never transmit synchronously (the MAC
+  always schedules); that is the structural invariant all protocol
+  layers in this repository obey.
+* ``link_cache_hits``/``link_cache_misses`` count row-level traffic
+  here (whole rows are built at once), so those two *diagnostic*
+  counters are not comparable across implementations; everything else
+  is.
+
+Requires numpy (guarded import in :mod:`repro.sim.vector_kernel`);
+``REPRO_NO_VECTOR=1`` or a missing numpy falls back to the scalar
+channel via :func:`repro.radio.channel.make_channel`.
+"""
+
+import numpy as _np
+
+from repro.radio.channel import Channel, _Reception
+from repro.sim.vector_kernel import BlockRng
+
+#: Surviving-reception count at which resolution switches from the
+#: scalar-shaped inline loop to the numpy block compare.  Below it,
+#: per-element list indexing beats array dispatch; the cutover is a pure
+#: performance knob -- both branches compute identical floats.
+GATHER_MIN = 8
+
+
+class VectorChannel(Channel):
+    """Table-driven channel, bit-identical to the scalar :class:`Channel`."""
+
+    def __init__(self, sim, topology, loss_model, propagation, **kwargs):
+        # Created before super().__init__ because the loss_model setter
+        # (triggered there) clears it.
+        self._p_rows = {}
+        super().__init__(sim, topology, loss_model, propagation, **kwargs)
+        n = len(topology)
+        # Dense node-id-indexed state tables.  _carrier replaces the
+        # base class's dict (same indexing syntax everywhere).
+        self._carrier = [0] * n
+        self._on = [False] * n
+        self._txing = [False] * n
+        self._has_radio = [False] * n
+        # The channel stream: same derived stream as the scalar path,
+        # consumed through the transplanted RandomState from here on.
+        self._brng = BlockRng(self._rng)
+        self._rng = None  # poison: all draws go through _brng now
+        # Diagnostics for the profiling harness.
+        self.draw_blocks = 0
+        self.draws_blocked = 0
+
+    # ------------------------------------------------------------------
+    # Loss model / cache lifecycle
+    # ------------------------------------------------------------------
+    @Channel.loss_model.setter
+    def loss_model(self, model):
+        Channel.loss_model.fset(self, model)
+        self._p_rows.clear()
+
+    def invalidate_neighbors(self):
+        super().invalidate_neighbors()
+        self._p_rows.clear()
+
+    # ------------------------------------------------------------------
+    # Radio state mirrors
+    # ------------------------------------------------------------------
+    def attach(self, radio):
+        super().attach(radio)
+        nid = radio.node_id
+        self._has_radio[nid] = True
+        self._on[nid] = radio.is_on
+
+    def radio_turned_on(self, radio):
+        self._on[radio.node_id] = True
+
+    def radio_went_off(self, radio):
+        nid = radio.node_id
+        self._on[nid] = False
+        self._txing[nid] = False
+        super().radio_went_off(radio)
+
+    # ------------------------------------------------------------------
+    # Carrier sense
+    # ------------------------------------------------------------------
+    def carrier_busy(self, node_id):
+        self.carrier_polls += 1
+        return self._txing[node_id] or self._carrier[node_id] > 0
+
+    # ------------------------------------------------------------------
+    # Link-budget rows
+    # ------------------------------------------------------------------
+    def _p_row(self, src, range_ft, on_air_bytes, listeners):
+        """Decode probabilities for the whole neighbor row.
+
+        Returns ``(by_dst, as_array)``: a destination-keyed map and the
+        dense listener-order array.  Every element goes through the
+        scalar :meth:`_decode_probability`, so the floats -- and
+        therefore every decode decision -- are bit-identical to the
+        scalar path.
+        """
+        key = (src, range_ft, on_air_bytes)
+        row = self._p_rows.get(key)
+        if row is None:
+            values = [
+                self._decode_probability(src, dst, range_ft, on_air_bytes)
+                for dst in listeners
+            ]
+            row = (dict(zip(listeners, values)),
+                   _np.asarray(values, dtype=_np.float64))
+            self._p_rows[key] = row
+            self.link_cache_misses += len(values)
+        else:
+            self.link_cache_hits += 1
+        return row
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _open_receptions(self, tx):
+        src = tx.src
+        if self._has_radio[src]:
+            # Mirror of radio.tx_started() (already called by transmit).
+            self._txing[src] = True
+        tracer = self.sim.tracer
+        carrier = self._carrier
+        on = self._on
+        txing = self._txing
+        receptions = self._receptions
+        radios = self._radios
+        coll_watched = tracer.watches("channel.collision")
+        receivers_append = tx.receivers.append
+        for dst in tx.listeners:
+            carrier[dst] += 1
+            if on[dst] and not txing[dst]:
+                ongoing = receptions[dst]
+                reception = _Reception(tx)
+                if ongoing:
+                    # Overlap at this receiver corrupts everything in
+                    # flight (same marking order as the scalar path).
+                    reception.corrupted = True
+                    for other in ongoing.values():
+                        if not other.corrupted:
+                            other.corrupted = True
+                            self.collisions += 1
+                            if coll_watched:
+                                tracer.emit(
+                                    "channel.collision",
+                                    node=dst,
+                                    src=other.transmission.src,
+                                    other_src=src,
+                                )
+                    self.collisions += 1
+                    if coll_watched:
+                        tracer.emit(
+                            "channel.collision",
+                            node=dst,
+                            src=src,
+                            other_src=next(
+                                iter(ongoing.values())
+                            ).transmission.src,
+                        )
+                ongoing[src] = reception
+                receivers_append(dst)
+                radios[dst].rx_began()
+
+    def _finish_transmission(self, tx, on_done):
+        self._active.pop(tx.src, None)
+        sender = self._radios.get(tx.src)
+        aborted = tx.aborted
+        if not aborted:
+            self._release_carrier(tx)
+            if sender is not None:
+                sender.tx_finished(self.sim.now - tx.start)
+                self._txing[tx.src] = False
+        if tx.receivers:
+            if (not aborted and self._link_cache_enabled
+                    and len(tx.receivers) >= GATHER_MIN):
+                self._resolve_wide(tx)
+            else:
+                self._resolve_narrow(tx, aborted)
+        if on_done is not None and not aborted:
+            on_done()
+
+    def _resolve_narrow(self, tx, aborted):
+        """Scalar-shaped resolution loop with inline buffered draws.
+
+        Statement-for-statement the scalar :meth:`Channel
+        ._finish_transmission` receiver loop; only the draw source (the
+        prefetched uniform buffer) and the probability lookup (the
+        destination-keyed link-budget row) differ, and both are
+        bit-identical by construction.
+        """
+        src = tx.src
+        frame = tx.frame
+        frame_bytes = frame.on_air_bytes
+        range_ft = tx.range_ft
+        receptions = self._receptions
+        radios = self._radios
+        cache_enabled = self._link_cache_enabled
+        p_by_dst = None
+        if cache_enabled and not aborted:
+            p_by_dst, _ = self._p_row(src, range_ft, frame_bytes,
+                                      tx.listeners)
+        tracer = self.sim.tracer
+        rx_watched = tracer.watches("radio.rx")
+        decode_hook = self.decode_hook
+        kind = None
+        # The draw buffer, accessed inline: a list index per draw
+        # instead of a method call per draw.  _brng's cursor is synced
+        # back on exit; nothing else consumes the stream re-entrantly
+        # (channel draws only ever happen here, and deliveries never
+        # transmit synchronously).
+        brng = self._brng
+        buf = brng._buf
+        pos = brng._pos
+        nbuf = len(buf)
+        drawn = 0
+        for dst in tx.receivers:
+            ongoing = receptions[dst]
+            reception = ongoing.get(src)
+            if reception is None or reception.transmission is not tx:
+                # Dropped earlier (receiver turned off) or replaced by a
+                # later frame from the same source.
+                continue
+            del ongoing[src]
+            receiver = radios[dst]
+            receiver.rx_ended()
+            if aborted:
+                continue
+            if reception.corrupted:
+                receiver.frames_corrupted += 1
+                continue
+            if cache_enabled:
+                success_p = p_by_dst[dst]
+            else:
+                # Time-varying loss model: per-edge budgets must be
+                # re-evaluated at the current clock, like the scalar
+                # uncached path.
+                success_p = self._decode_probability(
+                    src, dst, range_ft, frame_bytes
+                )
+            if pos == nbuf:
+                buf = brng._refill()
+                nbuf = len(buf)
+                pos = 0
+            draw = buf[pos]
+            pos += 1
+            drawn += 1
+            if draw < success_p:
+                delivered = frame
+                if decode_hook is not None:
+                    delivered = decode_hook(frame, dst)
+                    if delivered is None:
+                        receiver.frames_bit_errors += 1
+                        self.bit_error_losses += 1
+                        continue
+                if rx_watched:
+                    if kind is None:
+                        kind = type(frame.payload).__name__
+                    tracer.emit(
+                        "radio.rx",
+                        node=dst,
+                        src=src,
+                        kind=kind,
+                        bytes=frame_bytes,
+                    )
+                receiver.deliver(delivered)
+            else:
+                receiver.frames_bit_errors += 1
+                self.bit_error_losses += 1
+        brng._pos = pos
+        self.draws_blocked += drawn
+
+    def _resolve_wide(self, tx):
+        """Split-phase batch resolution (cache on, not aborted, wide).
+
+        Phase 1 -- reception bookkeeping, identical per-receiver checks
+        in the same order as the scalar loop, gathering each survivor's
+        link budget.  Phase 2 -- one block of uniforms for every
+        surviving reception, compared against the gathered budgets in
+        numpy.  Phase 3 -- deliveries, in receiver order.
+        """
+        src = tx.src
+        frame = tx.frame
+        frame_bytes = frame.on_air_bytes
+        receptions = self._receptions
+        radios = self._radios
+        p_by_dst, _ = self._p_row(src, tx.range_ft, frame_bytes,
+                                  tx.listeners)
+        pend_dst = []
+        pend_p = []
+        pend_radio = []
+        for dst in tx.receivers:
+            ongoing = receptions[dst]
+            reception = ongoing.get(src)
+            if reception is None or reception.transmission is not tx:
+                continue
+            del ongoing[src]
+            receiver = radios[dst]
+            receiver.rx_ended()
+            if reception.corrupted:
+                receiver.frames_corrupted += 1
+                continue
+            pend_dst.append(dst)
+            pend_p.append(p_by_dst[dst])
+            pend_radio.append(receiver)
+        k = len(pend_dst)
+        if not k:
+            return
+        self.draw_blocks += 1
+        self.draws_blocked += k
+        decoded = (
+            _np.asarray(self._brng.block(k))
+            < _np.asarray(pend_p, dtype=_np.float64)
+        ).tolist()
+        tracer = self.sim.tracer
+        rx_watched = tracer.watches("radio.rx")
+        decode_hook = self.decode_hook
+        kind = None
+        for i in range(k):
+            dst = pend_dst[i]
+            receiver = pend_radio[i]
+            if decoded[i]:
+                delivered = frame
+                if decode_hook is not None:
+                    delivered = decode_hook(frame, dst)
+                    if delivered is None:
+                        receiver.frames_bit_errors += 1
+                        self.bit_error_losses += 1
+                        continue
+                if rx_watched:
+                    if kind is None:
+                        kind = type(frame.payload).__name__
+                    tracer.emit(
+                        "radio.rx",
+                        node=dst,
+                        src=src,
+                        kind=kind,
+                        bytes=frame_bytes,
+                    )
+                receiver.deliver(delivered)
+            else:
+                receiver.frames_bit_errors += 1
+                self.bit_error_losses += 1

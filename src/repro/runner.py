@@ -52,6 +52,7 @@ EXPERIMENTS = {
     "power": "repro.experiments.power_sweep:power_experiment",
     "chaos": "repro.experiments.chaos:chaos_experiment",
     "conformance": "repro.conformance.execute:conformance_experiment",
+    "sharded": "repro.experiments.sharded:sharded_experiment",
 }
 
 

@@ -1,0 +1,535 @@
+"""Vectorized execution substrate: block RNG and the region-sharded driver.
+
+Two independent pieces live here, both in service of mega-scale grids
+(ROADMAP: "Vectorized mega-scale kernel"):
+
+* :class:`BlockRng` -- draws *blocks* of uniforms from a numpy
+  ``RandomState`` whose Mersenne-Twister state is transplanted from a
+  ``random.Random`` stream produced by :func:`repro.sim.rng.derive_rng`.
+  CPython's ``random.Random`` and numpy's legacy ``RandomState`` share
+  the same MT19937 core and the same 53-bit double conversion
+  (``(a >> 5) * 2**26 + (b >> 6)) / 2**53``), so after the state
+  transplant a block of ``k`` draws is **bit-identical** to ``k``
+  sequential ``random()`` calls on the scalar stream.  This is what lets
+  :class:`repro.radio.vector_channel.VectorChannel` batch its link-loss
+  draws while staying byte-exact with the scalar oracle.  The
+  equivalence is asserted at import time by :func:`blockrng_selftest`
+  (cheap) and continuously by ``tests/test_vector_differential.py``.
+
+* :class:`ShardedGrid` -- a region-sharded dissemination driver.  The
+  deployment area is partitioned into rectangular tiles; each tile is an
+  independent :class:`~repro.experiments.common.Deployment` over the
+  *full* topology but with motes built only for its own nodes.  Tiles
+  advance in lockstep epochs of ``epoch_ms`` virtual milliseconds;
+  transmissions by *boundary* nodes (nodes whose range reaches another
+  tile) are exported each epoch and replayed in the neighbouring tiles
+  during the next epoch via :meth:`Channel.inject_foreign`, shifted one
+  epoch later.  Execution is deterministic -- results are a pure
+  function of the plan (tile order, exchange order, and per-tile RNG
+  streams are all fixed) and identical between the serial and
+  process-pool backends -- but *approximate* at tile boundaries: ghost
+  traffic arrives exactly ``epoch_ms`` late.  When the partition is
+  radio-disjoint (no cross-tile link exists) there is no ghost traffic
+  and sharded results equal independent per-tile runs exactly; the
+  differential test pins both properties.
+
+Everything degrades gracefully without numpy: ``HAVE_NUMPY`` is False,
+:func:`vector_enabled` returns False, and callers fall back to the
+scalar code paths (``REPRO_NO_VECTOR=1`` forces the same fallback with
+numpy installed).
+"""
+
+import os
+
+try:  # Guarded: the scalar path must work on a numpy-less interpreter.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def vector_enabled():
+    """True when the vectorized hot path should be used.
+
+    Requires numpy and honours the ``REPRO_NO_VECTOR=1`` escape hatch
+    (mirroring ``REPRO_NO_LINK_CACHE``).  Consulted at channel
+    construction time, so one process can host scalar and vector
+    deployments side by side by flipping the variable between builds.
+    """
+    return HAVE_NUMPY and os.environ.get("REPRO_NO_VECTOR") != "1"
+
+
+class BlockRng:
+    """A numpy view of a ``random.Random`` stream, draw-for-draw exact.
+
+    Construct from the scalar stream *that would otherwise be used*; the
+    scalar object must not be drawn from afterwards (the transplanted
+    ``RandomState`` becomes the single owner of the stream state).
+
+    Draws are buffered: the ``RandomState`` is sampled ``CHUNK`` doubles
+    at a time and slices are served as python floats.  MT19937 consumes
+    exactly two 32-bit words per double, so chunked sampling yields the
+    *same sequence* as draw-by-draw sampling -- buffering changes only
+    when the generator is advanced, never what it produces.
+    """
+
+    #: Buffer refill size.  Big enough to amortize the RandomState call
+    #: overhead across thousands of narrow per-transmission blocks.
+    CHUNK = 1024
+
+    __slots__ = ("_rs", "_buf", "_pos")
+
+    def __init__(self, py_rng):
+        if _np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("BlockRng requires numpy")
+        version, state, _gauss = py_rng.getstate()
+        if version != 3:  # pragma: no cover - CPython has used 3 since 2.3
+            raise RuntimeError(f"unsupported random.Random version {version}")
+        self._rs = _np.random.RandomState()
+        # state is 624 key words plus the stream position as element 625.
+        self._rs.set_state(
+            ("MT19937", _np.asarray(state[:-1], dtype=_np.uint32), state[-1])
+        )
+        self._buf = []
+        self._pos = 0
+
+    def _refill(self, need=0):
+        """Advance the generator by one chunk; returns the new buffer.
+
+        Callers on the hot path index ``_buf``/``_pos`` directly and
+        sync the cursor back (a list index per draw instead of a method
+        call per draw); the cursor resets to 0 here.
+        """
+        buf = self._rs.random_sample(max(self.CHUNK, need)).tolist()
+        self._buf = buf
+        self._pos = 0
+        return buf
+
+    def random(self):
+        """One draw; equals the scalar stream's next ``random()``."""
+        pos = self._pos
+        if pos >= len(self._buf):
+            self._refill()
+            pos = 0
+        self._pos = pos + 1
+        return self._buf[pos]
+
+    def block(self, k):
+        """``k`` draws as a list of floats; equals ``k`` scalar draws."""
+        pos = self._pos
+        end = pos + k
+        buf = self._buf
+        if end <= len(buf):
+            self._pos = end
+            return buf[pos:end]
+        # Drain the tail of the old buffer, then refill.
+        out = buf[pos:]
+        need = k - len(out)
+        buf = self._refill(need)
+        out.extend(buf[:need])
+        self._pos = need
+        return out
+
+
+def blockrng_selftest(seed=0x5EED, draws=256):
+    """Assert the transplant equivalence on this platform.
+
+    Returns True; raises AssertionError if numpy's double conversion
+    ever diverges from CPython's (it never has -- both inherit
+    ``genrand_res53`` from the reference MT19937 implementation).
+    """
+    import random as _random
+
+    scalar = _random.Random(seed)
+    mirror = _random.Random(seed)
+    brng = BlockRng(mirror)
+    expected = [scalar.random() for _ in range(draws)]
+    got = brng.block(draws)
+    assert all(a == b for a, b in zip(expected, got)), \
+        "BlockRng diverged from random.Random"
+    # Interleaved scalar/block consumption must track too.
+    tail = brng.random()
+    assert tail == scalar.random(), "BlockRng scalar draw diverged"
+    return True
+
+
+if HAVE_NUMPY:
+    # Cheap (a few microseconds) and turns any platform drift into an
+    # immediate, attributable failure instead of silent nondeterminism.
+    blockrng_selftest()
+
+
+# ----------------------------------------------------------------------
+# Region sharding
+# ----------------------------------------------------------------------
+class ShardPlan:
+    """Static description of a region-sharded grid run.
+
+    The grid is split into ``tiles_x`` x ``tiles_y`` rectangles of nodes
+    (by position).  ``epoch_ms`` is the lockstep quantum: boundary
+    transmissions observed during epoch ``k`` are replayed in
+    neighbouring tiles during epoch ``k+1``.
+    """
+
+    def __init__(self, rows, cols, spacing_ft, range_ft, tiles_x=2,
+                 tiles_y=2, epoch_ms=2000.0, n_segments=1,
+                 segment_packets=24, seed=0, deadline_min=480.0,
+                 protocol="mnp"):
+        if tiles_x < 1 or tiles_y < 1:
+            raise ValueError("tile counts must be positive")
+        if epoch_ms <= 0:
+            raise ValueError("epoch_ms must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.spacing_ft = spacing_ft
+        self.range_ft = range_ft
+        self.tiles_x = tiles_x
+        self.tiles_y = tiles_y
+        self.epoch_ms = epoch_ms
+        self.n_segments = n_segments
+        self.segment_packets = segment_packets
+        self.seed = seed
+        self.deadline_min = deadline_min
+        self.protocol = protocol
+
+    @property
+    def n_tiles(self):
+        return self.tiles_x * self.tiles_y
+
+    def tile_nodes(self, tile):
+        """Sorted node ids belonging to ``tile`` (row-major tile index)."""
+        ty, tx = divmod(tile, self.tiles_x)
+        # Split rows/cols as evenly as possible; node id = r*cols + c.
+        r_lo, r_hi = _span(self.rows, self.tiles_y, ty)
+        c_lo, c_hi = _span(self.cols, self.tiles_x, tx)
+        return [
+            r * self.cols + c
+            for r in range(r_lo, r_hi)
+            for c in range(c_lo, c_hi)
+        ]
+
+    def boundary_nodes(self, tile):
+        """Ids in ``tile`` whose radio range crosses into another tile."""
+        ty, tx = divmod(tile, self.tiles_x)
+        r_lo, r_hi = _span(self.rows, self.tiles_y, ty)
+        c_lo, c_hi = _span(self.cols, self.tiles_x, tx)
+        margin = int(self.range_ft // self.spacing_ft)
+        out = []
+        for r in range(r_lo, r_hi):
+            near_r = r - r_lo <= margin - 1 and ty > 0 or \
+                r_hi - 1 - r <= margin - 1 and ty < self.tiles_y - 1
+            for c in range(c_lo, c_hi):
+                near_c = c - c_lo <= margin - 1 and tx > 0 or \
+                    c_hi - 1 - c <= margin - 1 and tx < self.tiles_x - 1
+                if near_r or near_c:
+                    out.append(r * self.cols + c)
+        return out
+
+    def neighbors_of_tile(self, tile):
+        """Tiles adjacent (including diagonals) to ``tile``."""
+        ty, tx = divmod(tile, self.tiles_x)
+        out = []
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dy == 0 and dx == 0:
+                    continue
+                ny, nx = ty + dy, tx + dx
+                if 0 <= ny < self.tiles_y and 0 <= nx < self.tiles_x:
+                    out.append(ny * self.tiles_x + nx)
+        return out
+
+    def is_radio_disjoint(self):
+        """True when no cross-tile link can exist (exact sharding)."""
+        return all(not self.boundary_nodes(t) for t in range(self.n_tiles))
+
+    def to_dict(self):
+        return {k: getattr(self, k) for k in (
+            "rows", "cols", "spacing_ft", "range_ft", "tiles_x", "tiles_y",
+            "epoch_ms", "n_segments", "segment_packets", "seed",
+            "deadline_min", "protocol",
+        )}
+
+
+def _span(total, parts, index):
+    """Half-open [lo, hi) row/col span of partition ``index`` of ``parts``."""
+    base, extra = divmod(total, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+class TileSim:
+    """One tile's deployment plus its epoch bookkeeping.
+
+    The tile builds motes only for its own node ids, but over the *full*
+    topology, so foreign (ghost) transmissions injected at global source
+    ids resolve ranges, distances, and per-edge loss factors with exactly
+    the same math as an unsharded run.
+    """
+
+    def __init__(self, plan, tile):
+        from repro.core.segments import CodeImage
+        from repro.experiments.common import Deployment
+        from repro.net.loss_models import EmpiricalLossModel
+        from repro.net.topology import Topology
+        from repro.radio.propagation import PropagationModel
+
+        self.plan = plan
+        self.tile = tile
+        self.node_ids = plan.tile_nodes(tile)
+        self.boundary = frozenset(plan.boundary_nodes(tile))
+        topology = Topology.grid(plan.rows, plan.cols, plan.spacing_ft)
+        image = CodeImage.random(1, n_segments=plan.n_segments,
+                                 segment_packets=plan.segment_packets,
+                                 seed=plan.seed)
+        base_id = topology.corner_node("bottom-left")
+        self.deployment = Deployment(
+            topology, image=image, protocol=plan.protocol, seed=plan.seed,
+            base_id=base_id,
+            propagation=PropagationModel(plan.range_ft, 3.0),
+            loss_model=EmpiricalLossModel(seed=plan.seed),
+            node_ids=self.node_ids,
+        )
+        self.exports = []
+        if self.boundary:
+            self.deployment.channel.on_transmit = self._on_transmit
+        self.deployment.start()
+        self._started = True
+
+    def _on_transmit(self, tx):
+        if tx.src in self.boundary:
+            self.exports.append(
+                (tx.start, tx.src, tx.range_ft, tx.frame)
+            )
+
+    def apply_ghosts(self, ghosts):
+        """Schedule last epoch's foreign transmissions, one epoch late.
+
+        ``ghosts`` must already be sorted; the fixed replay order is part
+        of the determinism contract.
+        """
+        sim = self.deployment.sim
+        channel = self.deployment.channel
+        shift = self.plan.epoch_ms
+        for start, src, range_ft, frame in ghosts:
+            at = start + shift
+            if at < sim.now:  # pragma: no cover - epochs are lockstep
+                at = sim.now
+            sim.schedule_at(at, channel.inject_foreign, src, frame, range_ft)
+
+    def run_epoch(self, until):
+        self.deployment.sim.run(until=until)
+        out = self.exports
+        self.exports = []
+        return out
+
+    @property
+    def complete(self):
+        return all(
+            n.has_full_image for n in self.deployment.nodes.values()
+        )
+
+    def metrics(self):
+        nodes = self.deployment.nodes
+        collector = self.deployment.collector
+        done = [n for n in nodes.values() if n.has_full_image]
+        times = [n.got_code_time for n in done
+                 if n.got_code_time is not None]
+        channel = self.deployment.channel
+        return {
+            "tile": self.tile,
+            "nodes": len(nodes),
+            "complete": len(done),
+            "completion_ms": max(times) if times and len(done) == len(nodes)
+            else None,
+            "messages_sent": sum(collector.tx_by_node.values()),
+            "collisions": collector.collisions,
+            "foreign_transmissions": channel.foreign_transmissions,
+            "events": self.deployment.sim.events_executed,
+        }
+
+
+class ShardedGrid:
+    """Epoch-lockstep execution of a :class:`ShardPlan`.
+
+    ``workers`` selects the backend: 0/1 runs every tile in-process;
+    >= 2 fans tiles out over persistent worker processes (one fork per
+    tile group) that hold their tile sims alive between epochs, shipping
+    only ghost records over pipes.  Both backends produce byte-identical
+    results -- each tile is a deterministic simulation and the exchange
+    schedule is fixed -- which ``tests/test_vector_differential.py``
+    asserts.
+    """
+
+    def __init__(self, plan, workers=0):
+        self.plan = plan
+        self.workers = workers
+
+    def run(self):
+        if self.workers and self.workers > 1 and self.plan.n_tiles > 1:
+            return self._run_processes()
+        return self._run_serial()
+
+    # -- serial backend -------------------------------------------------
+    def _run_serial(self):
+        plan = self.plan
+        tiles = [TileSim(plan, t) for t in range(plan.n_tiles)]
+        return self._drive(tiles)
+
+    def _drive(self, tiles):
+        plan = self.plan
+        deadline = plan.deadline_min * 60_000.0
+        pending = {t.tile: [] for t in tiles}
+        epoch = 0
+        now = 0.0
+        while now < deadline and not all(t.complete for t in tiles):
+            now = min((epoch + 1) * plan.epoch_ms, deadline)
+            outgoing = {}
+            for tile in tiles:  # fixed tile order: determinism
+                tile.apply_ghosts(pending[tile.tile])
+                pending[tile.tile] = []
+                outgoing[tile.tile] = tile.run_epoch(now)
+            self._route(outgoing, pending)
+            epoch += 1
+        return self._result(tiles, epoch, now)
+
+    def _route(self, outgoing, pending):
+        """Deliver each tile's exports to its neighbours, sorted."""
+        plan = self.plan
+        for src_tile, records in outgoing.items():
+            if not records:
+                continue
+            for dst_tile in plan.neighbors_of_tile(src_tile):
+                if dst_tile in pending:
+                    pending[dst_tile].extend(records)
+        for records in pending.values():
+            records.sort(key=lambda rec: (rec[0], rec[1]))
+
+    def _result(self, tiles, epochs, now):
+        per_tile = [t.metrics() for t in tiles]
+        total = sum(m["nodes"] for m in per_tile)
+        done = sum(m["complete"] for m in per_tile)
+        completions = [m["completion_ms"] for m in per_tile]
+        return {
+            "plan": self.plan.to_dict(),
+            "radio_disjoint": self.plan.is_radio_disjoint(),
+            "epochs": epochs,
+            "sim_ms": now,
+            "coverage": done / total,
+            "completion_ms": (
+                max(completions) if all(c is not None for c in completions)
+                else None
+            ),
+            "messages_sent": sum(m["messages_sent"] for m in per_tile),
+            "collisions": sum(m["collisions"] for m in per_tile),
+            "events": sum(m["events"] for m in per_tile),
+            "ghost_transmissions": sum(
+                m["foreign_transmissions"] for m in per_tile
+            ),
+            "tiles": per_tile,
+        }
+
+    # -- process backend ------------------------------------------------
+    def _run_processes(self):
+        import multiprocessing as mp
+
+        plan = self.plan
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
+            else mp.get_context("spawn")
+        groups = _partition(range(plan.n_tiles), self.workers)
+        procs, pipes = [], []
+        try:
+            for group in groups:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_tile_worker,
+                    args=(child, plan.to_dict(), list(group)),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                procs.append(proc)
+                pipes.append((parent, list(group)))
+            return self._drive_remote(pipes)
+        finally:
+            for parent, _ in pipes:
+                try:
+                    parent.send(("quit",))
+                    parent.close()
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - hang safety net
+                    proc.terminate()
+
+    def _drive_remote(self, pipes):
+        plan = self.plan
+        deadline = plan.deadline_min * 60_000.0
+        pending = {t: [] for t in range(plan.n_tiles)}
+        epoch = 0
+        now = 0.0
+        all_complete = False
+        while now < deadline and not all_complete:
+            now = min((epoch + 1) * plan.epoch_ms, deadline)
+            for parent, group in pipes:
+                parent.send(
+                    ("epoch", now, {t: pending[t] for t in group})
+                )
+            outgoing = {}
+            complete_flags = []
+            for parent, group in pipes:
+                exports, flags = parent.recv()
+                outgoing.update(exports)
+                complete_flags.extend(flags)
+            for t in pending:
+                pending[t] = []
+            self._route(outgoing, pending)
+            all_complete = all(complete_flags)
+            epoch += 1
+        per_tile = []
+        for parent, group in pipes:
+            parent.send(("metrics",))
+            per_tile.extend(parent.recv())
+        per_tile.sort(key=lambda m: m["tile"])
+        return self._result_from_metrics(per_tile, epoch, now)
+
+    def _result_from_metrics(self, per_tile, epochs, now):
+        class _M:  # duck-typed shim so _result's shape is shared
+            def __init__(self, m):
+                self._m = m
+
+            def metrics(self):
+                return self._m
+
+        return self._result([_M(m) for m in per_tile], epochs, now)
+
+
+def _partition(items, parts):
+    items = list(items)
+    parts = max(1, min(parts, len(items)))
+    return [items[i::parts] for i in range(parts)]
+
+
+def _tile_worker(pipe, plan_dict, tile_ids):  # pragma: no cover - subprocess
+    """Persistent worker owning ``tile_ids``; driven over ``pipe``."""
+    plan = ShardPlan(**plan_dict)
+    tiles = {t: TileSim(plan, t) for t in tile_ids}
+    while True:
+        msg = pipe.recv()
+        if msg[0] == "quit":
+            pipe.close()
+            return
+        if msg[0] == "epoch":
+            _, until, ghosts = msg
+            exports = {}
+            flags = []
+            for t in sorted(tiles):
+                tile = tiles[t]
+                tile.apply_ghosts(ghosts.get(t, []))
+                exports[t] = tile.run_epoch(until)
+                flags.append(tile.complete)
+            pipe.send((exports, flags))
+        elif msg[0] == "metrics":
+            pipe.send([tiles[t].metrics() for t in sorted(tiles)])

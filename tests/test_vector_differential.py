@@ -1,0 +1,319 @@
+"""Scalar-vs-vector differential tests for the vectorized kernel (PR 7).
+
+The scalar :class:`repro.radio.channel.Channel` is the oracle; the
+vectorized :class:`repro.radio.vector_channel.VectorChannel` must
+produce bit-identical virtual outcomes on every workload class the
+repository has: plain dissemination, saturated media, fault-plan chaos
+runs, conformance-generated scenarios, and time-varying loss models.
+The two paths are toggled per run with the ``REPRO_NO_VECTOR=1`` escape
+hatch, which :func:`repro.radio.channel.make_channel` consults at
+construction time.
+
+Also pinned here: the :class:`~repro.sim.vector_kernel.BlockRng` state
+transplant, the region-sharded driver's determinism (serial twice, and
+serial vs process backend, byte-identical), its exactness on
+radio-disjoint partitions, and the multi-radius grid-index cache.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.sim.vector_kernel import HAVE_NUMPY, ShardPlan, ShardedGrid, \
+    vector_enabled
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+
+@pytest.fixture
+def scalar_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+
+
+@pytest.fixture
+def vector_env(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_VECTOR", raising=False)
+
+
+def _both_paths(monkeypatch, run):
+    """Run ``run()`` under the scalar and the vector channel."""
+    monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+    scalar = run()
+    monkeypatch.delenv("REPRO_NO_VECTOR", raising=False)
+    vector = run()
+    return scalar, vector
+
+
+@needs_numpy
+class TestBlockRng:
+    def test_selftest(self):
+        from repro.sim.vector_kernel import blockrng_selftest
+
+        assert blockrng_selftest(seed=12345, draws=512)
+
+    def test_interleaved_blocks_track_scalar_stream(self):
+        from repro.sim.vector_kernel import BlockRng
+
+        scalar = random.Random(77)
+        brng = BlockRng(random.Random(77))
+        rng = random.Random(9)
+        for _ in range(50):
+            k = rng.randint(1, 17)
+            expected = [scalar.random() for _ in range(k)]
+            got = brng.block(k) if k > 1 else [brng.random()]
+            assert list(got) == expected
+
+
+@needs_numpy
+class TestChannelSelection:
+    def test_escape_hatch(self, monkeypatch):
+        from repro.net.loss_models import EmpiricalLossModel
+        from repro.net.topology import Topology
+        from repro.radio.channel import Channel, make_channel
+        from repro.radio.propagation import PropagationModel
+        from repro.radio.vector_channel import VectorChannel
+        from repro.sim.kernel import Simulator
+
+        def build():
+            return make_channel(
+                Simulator(seed=0), Topology.grid(2, 2, 10.0),
+                EmpiricalLossModel(seed=0), PropagationModel(25.0, 3.0),
+            )
+
+        monkeypatch.setenv("REPRO_NO_VECTOR", "1")
+        assert not vector_enabled()
+        assert type(build()) is Channel
+        monkeypatch.delenv("REPRO_NO_VECTOR", raising=False)
+        assert vector_enabled()
+        assert type(build()) is VectorChannel
+
+    def test_inject_foreign_rejects_local_sources(self, vector_env):
+        from repro.net.loss_models import EmpiricalLossModel
+        from repro.net.topology import Topology
+        from repro.radio.channel import make_channel
+        from repro.radio.packet import Frame
+        from repro.radio.propagation import PropagationModel
+        from repro.radio.radio import Radio
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator(seed=0)
+        channel = make_channel(
+            sim, Topology.grid(2, 2, 10.0),
+            EmpiricalLossModel(seed=0), PropagationModel(25.0, 3.0),
+        )
+        radio = Radio(sim, 0)
+        channel.attach(radio)
+        with pytest.raises(ValueError):
+            channel.inject_foreign(0, Frame(0, object(), 36), 25.0)
+
+
+def _dissemination_outcome(seed):
+    from repro.experiments.active_radio import run_simulation_grid
+
+    run = run_simulation_grid(rows=6, cols=6, n_segments=1,
+                              segment_packets=12, seed=seed,
+                              deadline_min=480)
+    return {
+        "summary": run.summary_metrics(),
+        "events": run.sim.events_executed,
+        "sim_now": run.sim.now,
+        "messages": run.messages_sent(),
+        "received": run.messages_received(),
+        "radio_ms": run.active_radio_ms(),
+        "got_code": run.got_code_times_ms(),
+        "parents": run.parent_map(),
+    }
+
+
+@needs_numpy
+class TestScalarVectorDifferential:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_dissemination_bit_identical(self, monkeypatch, seed):
+        scalar, vector = _both_paths(
+            monkeypatch, lambda: _dissemination_outcome(seed))
+        assert scalar == vector
+
+    def test_saturation_bit_identical(self, monkeypatch):
+        from repro.profiling import profile_saturation
+
+        def run():
+            phase = profile_saturation(rows=8, cols=8, range_ft=13.0,
+                                       frames_per_node=12, seed=5)
+            counters = phase["counters"]
+            # Link-cache hit/miss counters are row-granular on the
+            # vector path (documented); everything else must match.
+            counters.pop("link_cache_hits")
+            counters.pop("link_cache_misses")
+            return {k: phase[k] for k in
+                    ("events", "sim_ms", "counters", "checks")}
+
+        scalar, vector = _both_paths(monkeypatch, run)
+        assert scalar == vector
+
+    def test_fault_plan_run_bit_identical(self, monkeypatch):
+        """Chaos run: crashes/restarts (radios dropping mid-flight) and
+        link faults (time-varying loss + decode hook) on both paths."""
+        from repro.experiments.chaos import run_chaos, standard_plan
+
+        def run(fault_class):
+            plan = standard_plan(fault_class, intensity=0.6,
+                                 rows=5, cols=5)
+            outcome = run_chaos(plan, rows=5, cols=5, n_segments=1,
+                                segment_packets=8, seed=2,
+                                deadline_min=240)
+            return outcome.to_dict()
+
+        for fault_class in ("crash", "link"):
+            scalar, vector = _both_paths(
+                monkeypatch, lambda: run(fault_class))
+            assert scalar == vector, f"divergence under {fault_class}"
+
+    def test_conformance_scenario_bit_identical(self, monkeypatch):
+        """A generator-sampled scenario (the conformance fuzzer's own
+        distribution, faults included) through run_scenario."""
+        from repro.conformance.execute import run_scenario
+        from repro.conformance.generator import ScenarioGenerator
+
+        gen = ScenarioGenerator(seed=4, fault_fraction=1.0)
+        spec = gen.sample(1)
+        assert spec.faults is not None
+        scalar, vector = _both_paths(
+            monkeypatch, lambda: run_scenario(spec))
+        assert scalar == vector
+
+    def test_time_varying_outages_bit_identical(self, monkeypatch):
+        """IntermittentLossModel disables the link cache; the vector
+        path must re-evaluate per-edge budgets at the clock, like the
+        scalar uncached path."""
+        from repro.core.segments import CodeImage
+        from repro.experiments.common import Deployment
+        from repro.net.topology import Topology
+        from repro.sim.kernel import MINUTE, SECOND
+
+        def run():
+            topo = Topology.grid(4, 4, 10.0)
+            image = CodeImage.random(1, n_segments=1, segment_packets=8,
+                                     seed=6)
+            dep = Deployment(topo, image=image, seed=6)
+            dep.inject_outages([(5 * SECOND, 20 * SECOND),
+                                (60 * SECOND, 80 * SECOND)])
+            assert not dep.channel.link_cache_enabled
+            result = dep.run_to_completion(deadline_ms=240 * MINUTE)
+            return {
+                "summary": result.summary_metrics(),
+                "events": dep.sim.events_executed,
+                "sim_now": dep.sim.now,
+            }
+
+        scalar, vector = _both_paths(monkeypatch, run)
+        assert scalar == vector
+
+    def test_determinism_oracle_with_vector_kernel(self, vector_env):
+        """The conformance determinism oracle on vector-channel runs."""
+        from repro.conformance.execute import run_scenario
+        from repro.conformance.generator import ScenarioGenerator
+        from repro.conformance.oracles import oracle_determinism
+        from repro.radio.vector_channel import VectorChannel  # noqa: F401
+
+        spec = ScenarioGenerator(seed=8).sample(0)
+        runs = {
+            "base": run_scenario(spec),
+            "replica": run_scenario(spec, variant={"replica": 1}),
+        }
+        violations = oracle_determinism(spec, runs)
+        assert violations == []
+
+
+def _shard_plan(**overrides):
+    kwargs = dict(rows=10, cols=10, spacing_ft=10.0, range_ft=21.0,
+                  tiles_x=2, tiles_y=2, epoch_ms=2000.0, n_segments=1,
+                  segment_packets=8, seed=1, deadline_min=120.0)
+    kwargs.update(overrides)
+    return ShardPlan(**kwargs)
+
+
+@needs_numpy
+class TestShardedDriver:
+    def test_serial_deterministic_and_covers_grid(self):
+        plan = _shard_plan()
+        first = ShardedGrid(plan, workers=0).run()
+        second = ShardedGrid(plan, workers=0).run()
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+        # Ghost traffic really crosses tile boundaries and the far
+        # tiles still complete -- dissemination works across shards.
+        assert not first["radio_disjoint"]
+        assert first["ghost_transmissions"] > 0
+        assert first["coverage"] == 1.0
+
+    @pytest.mark.slow
+    def test_process_backend_matches_serial(self):
+        plan = _shard_plan()
+        serial = ShardedGrid(plan, workers=0).run()
+        procs = ShardedGrid(plan, workers=2).run()
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(procs, sort_keys=True)
+
+    def test_radio_disjoint_partition_is_exact(self):
+        """Tiles out of radio reach exchange nothing: the sharded run
+        equals independent per-tile runs (no ghosts, zero foreign tx)."""
+        # 2 tiles of one column each, 200 ft apart, 21 ft range.
+        plan = _shard_plan(rows=4, cols=2, spacing_ft=200.0,
+                           tiles_x=2, tiles_y=1, deadline_min=30.0)
+        assert plan.is_radio_disjoint()
+        result = ShardedGrid(plan, workers=0).run()
+        assert result["radio_disjoint"]
+        assert result["ghost_transmissions"] == 0
+        # At 200 ft spacing every node is isolated: exactly the base
+        # station holds the image, and no tile ever exports traffic.
+        tiles = result["tiles"]
+        assert sum(m["complete"] for m in tiles) == 1
+        assert all(m["foreign_transmissions"] == 0 for m in tiles)
+
+    def test_plan_partitions_nodes_exactly_once(self):
+        plan = _shard_plan(rows=7, cols=9, tiles_x=3, tiles_y=2)
+        seen = []
+        for tile in range(plan.n_tiles):
+            seen.extend(plan.tile_nodes(tile))
+        assert sorted(seen) == list(range(7 * 9))
+        for tile in range(plan.n_tiles):
+            assert set(plan.boundary_nodes(tile)) <= \
+                set(plan.tile_nodes(tile))
+
+
+class TestMultiRadiusGridIndex:
+    def test_radius_classes_are_shared(self):
+        from repro.net.topology import Topology
+
+        topo = Topology.grid(8, 8, 10.0)
+        # A power sweep's worth of distinct radii...
+        radii = [13.0, 16.0, 21.0, 25.0, 30.0, 31.9, 60.0]
+        for radius in radii:
+            for node in (0, 27, 63):
+                assert topo.nodes_within(node, radius) == \
+                    topo.nodes_within_linear(node, radius)
+        # ...lands on a logarithmic number of shared index classes.
+        assert set(topo._grid_indices) == {16.0, 32.0, 64.0}
+
+    def test_radius_class_quantization(self):
+        from repro.net.topology import Topology
+
+        assert Topology.radius_class(13.0) == 16.0
+        assert Topology.radius_class(16.0) == 16.0
+        assert Topology.radius_class(16.1) == 32.0
+        assert Topology.radius_class(0.4) == 0.5
+
+    def test_random_topologies_match_linear_via_classes(self):
+        from repro.net.topology import Topology
+
+        for trial in range(3):
+            rng = random.Random(100 + trial)
+            topo = Topology(
+                [(rng.uniform(0, 150.0), rng.uniform(0, 150.0))
+                 for _ in range(40)]
+            )
+            for radius in (7.3, 19.0, 33.3, 90.0):
+                for node in topo.node_ids():
+                    assert topo.nodes_within(node, radius) == \
+                        topo.nodes_within_linear(node, radius)
