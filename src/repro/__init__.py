@@ -22,6 +22,7 @@ from repro.core.crc import crc16_ccitt
 from repro.core.delta import Delta, apply_delta, delta_image, encode_delta
 from repro.core.mnp import MNPNode
 from repro.core.segments import CodeImage, Segment
+from repro.core.coded_mnp import CodedMNPNode
 from repro.core.states import MNPState
 from repro.experiments.common import Deployment, RunResult, register_protocol
 from repro.hardware.bootloader import Bootloader, InstallResult
@@ -58,6 +59,7 @@ __all__ = [
     "TdmaMac",
     "build_tdma_schedule",
     "MNPNode",
+    "CodedMNPNode",
     "MNPState",
     "CodeImage",
     "Segment",

@@ -4,6 +4,9 @@
   pipelining with Trickle-suppressed advertisements and an always-on radio.
   The paper's Section 5 comparison and the "slow diagonal" dynamic behavior
   discussion both target Deluge.
+* :mod:`repro.baselines.coded_deluge` -- Deluge's control plane over a
+  network-coded data plane (rank requests, random linear combinations);
+  the baseline counterpart of ``coded_mnp``.
 * :mod:`repro.baselines.moap` -- MOAP (Stathopoulos et al.): hop-by-hop
   whole-image transfer with publish/subscribe sender suppression and
   NAK-based repair.
@@ -20,6 +23,7 @@ Importing this package registers each protocol with
 
 from repro.baselines.trickle import TrickleTimer
 from repro.baselines.deluge import DelugeConfig, DelugeNode
+from repro.baselines.coded_deluge import CodedDelugeNode
 from repro.baselines.moap import MoapConfig, MoapNode
 from repro.baselines.xnp import XnpConfig, XnpNode
 from repro.baselines.flood import FloodConfig, FloodNode
@@ -28,6 +32,7 @@ __all__ = [
     "TrickleTimer",
     "DelugeConfig",
     "DelugeNode",
+    "CodedDelugeNode",
     "MoapConfig",
     "MoapNode",
     "XnpConfig",

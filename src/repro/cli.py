@@ -10,7 +10,10 @@ Six commands cover the common workflows:
                  the Section 5-style comparison table;
 * ``sweep``   -- replicate a run across seeds on a parallel, cached
                  worker fleet (see :mod:`repro.runner`) and print
-                 per-seed metrics plus aggregates;
+                 per-seed metrics plus aggregates; ``--experiment
+                 coding`` instead sweeps the coded protocol family
+                 (mnp/coded_mnp/deluge/coded_deluge) across link-loss
+                 rates and prints loss x protocol tables;
 * ``chaos``   -- disseminate under injected faults (:mod:`repro.faults`)
                  across a protocol x fault-class matrix, with the
                  invariant watchdog attached; cached and parallel like
@@ -29,6 +32,7 @@ Examples::
     python -m repro figure fig8
     python -m repro compare mnp deluge xnp --grid 8x8
     python -m repro sweep --seeds 0-9 --workers 4 --grid 6x6
+    python -m repro sweep --experiment coding --seeds 0-2 --workers 4
     python -m repro chaos --protocols mnp,deluge --intensity 0.6 --workers 4
     python -m repro profile --grid 20x20 --json
     python -m repro conformance --budget 50 --seed 7 --workers 4
@@ -75,6 +79,20 @@ def _parse_seeds(text):
     if not seeds:
         raise argparse.ArgumentTypeError("empty seed list")
     return seeds
+
+
+def _parse_loss(text):
+    """Loss-percentage lists: '0,10,30' (integers in [0, 99])."""
+    try:
+        pcts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"loss must look like '0,10,30', got {text!r}"
+        ) from None
+    if not pcts or any(p < 0 or p > 99 for p in pcts):
+        raise argparse.ArgumentTypeError(
+            "loss percentages must be integers in [0, 99]")
+    return pcts
 
 
 def _build_parser():
@@ -125,8 +143,20 @@ def _build_parser():
     swp_p = sub.add_parser(
         "sweep",
         help="replicate runs across seeds on a parallel, cached fleet")
+    swp_p.add_argument("--experiment", default="grid",
+                       choices=("grid", "coding"),
+                       help="grid: seed replication of one protocol; "
+                            "coding: coded-vs-stock loss sweep "
+                            "(default grid)")
     swp_p.add_argument("--protocol", default="mnp",
-                       help="mnp, deluge, moap, xnp, or flood")
+                       help="grid: mnp, deluge, moap, xnp, or flood")
+    swp_p.add_argument("--protocols", default=None, metavar="LIST",
+                       help="coding: comma list of protocols (default "
+                            "mnp,coded_mnp,deluge,coded_deluge)")
+    swp_p.add_argument("--loss", type=_parse_loss, default=None,
+                       metavar="LIST",
+                       help="coding: comma list of data-frame loss "
+                            "percentages (default 0,10,20,30,40,50)")
     swp_p.add_argument("--seeds", type=_parse_seeds, default=list(range(5)),
                        metavar="SPEC",
                        help="e.g. '0-9' or '1,2,5' (default 0-4)")
@@ -302,14 +332,119 @@ def _cmd_run(args, out):
     return 0 if result.coverage == 1.0 else 1
 
 
-def _cmd_sweep(args, out):
+def _sweep_runner(args):
     import sys as _sys
 
+    from repro.runner import Runner
+
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=_sys.stderr, flush=True))
+    return Runner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+    )
+
+
+def _cmd_sweep_coding(args, out):
+    from repro.experiments.coding import CODING_PROTOCOLS, LOSS_PCTS
+    from repro.experiments.scale import current_scale, get_scale
+    from repro.metrics.reports import format_table
+    from repro.runner import RunSpec
+
+    scale = get_scale(args.scale) if args.scale else current_scale()
+    protocols = (
+        [p.strip() for p in args.protocols.split(",") if p.strip()]
+        if args.protocols else list(CODING_PROTOCOLS)
+    )
+    loss_pcts = args.loss if args.loss else list(LOSS_PCTS)
+    rows, cols = args.grid if args.grid else (None, None)
+    specs = [
+        RunSpec(
+            "coding", protocol=protocol, scale=scale.name, seed=seed,
+            loss_pct=loss_pct, rows=rows, cols=cols,
+            n_segments=args.segments, segment_packets=args.segment_packets,
+        )
+        for protocol in protocols
+        for loss_pct in loss_pcts
+        for seed in args.seeds
+    ]
+    runner = _sweep_runner(args)
+    if args.require_cached:
+        missing = [s for s in specs if runner.load_cached(s) is None]
+        if missing:
+            out.write(
+                f"{len(missing)}/{len(specs)} spec(s) not cached "
+                f"(first: {missing[0].label()})\n"
+            )
+            return 3
+    results = runner.run(specs)
+    cells = {}
+    for spec, metrics in zip(specs, results):
+        cell = (spec.protocol, spec.overrides["loss_pct"])
+        cells.setdefault(cell, []).append(metrics)
+
+    def _mean(cell, key):
+        values = [m[key] for m in cells[cell] if m.get(key) is not None]
+        return sum(values) / len(values) if values else None
+
+    if args.json:
+        import json
+
+        payload = {
+            "experiment": "coding",
+            "protocols": protocols,
+            "loss_pcts": loss_pcts,
+            "seeds": args.seeds,
+            "cache": {"hits": runner.stats.hits,
+                      "misses": runner.stats.misses},
+            "elapsed_s": runner.stats.elapsed_s,
+            "runs": [
+                {"protocol": spec.protocol,
+                 "loss_pct": spec.overrides["loss_pct"],
+                 "seed": spec.seed, "key": spec.cache_key(),
+                 "metrics": metrics}
+                for spec, metrics in zip(specs, results)
+            ],
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+    for key, title in (("messages_sent", "mean messages sent"),
+                       ("mean_energy_nah", "mean energy (nAh/node)")):
+        table_rows = []
+        for loss_pct in loss_pcts:
+            row = [f"{loss_pct}%"]
+            for protocol in protocols:
+                value = _mean((protocol, loss_pct), key)
+                row.append("-" if value is None else f"{value:.0f}")
+            table_rows.append(row)
+        out.write(format_table(
+            ["loss"] + protocols, table_rows,
+            title=(f"Coding sweep ({title}): "
+                   f"{len(args.seeds)} seed(s) per cell"),
+        ) + "\n")
+    incomplete = sum(
+        1 for m in results if m.get("coverage", 0.0) < 1.0
+    )
+    if incomplete:
+        out.write(f"  WARNING: {incomplete} run(s) did not reach "
+                  f"full coverage before the deadline\n")
+    out.write(
+        f"  cache: {runner.stats.hits} hit(s), "
+        f"{runner.stats.misses} miss(es) "
+        f"({runner.stats.elapsed_s:.1f}s total)\n"
+    )
+    return 0
+
+
+def _cmd_sweep(args, out):
     from repro.experiments.replication import MetricStats
     from repro.experiments.scale import current_scale, get_scale
     from repro.metrics.reports import format_table
-    from repro.runner import RunSpec, Runner
+    from repro.runner import RunSpec
 
+    if args.experiment == "coding":
+        return _cmd_sweep_coding(args, out)
     scale = get_scale(args.scale) if args.scale else current_scale()
     rows, cols = args.grid if args.grid else (None, None)
     specs = [
@@ -320,13 +455,7 @@ def _cmd_sweep(args, out):
         )
         for seed in args.seeds
     ]
-    progress = None if args.quiet else \
-        (lambda line: print(line, file=_sys.stderr, flush=True))
-    runner = Runner(
-        workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        progress=progress,
-    )
+    runner = _sweep_runner(args)
     if args.require_cached:
         missing = [s for s in specs if runner.load_cached(s) is None]
         if missing:

@@ -92,7 +92,10 @@ def run_scenario(scenario, protocol="mnp", variant=None):
             loss={"kind": variant["loss"]}).build_loss_model()
     else:
         loss_model = spec.build_loss_model()
-    protocol_config = MNPConfig(**spec.config) if protocol == "mnp" else None
+    # The coded variant shares MNP's whole control plane, so it takes
+    # the same MNPConfig and the same watchdog audit.
+    mnp_family = protocol in ("mnp", "coded_mnp")
+    protocol_config = MNPConfig(**spec.config) if mnp_family else None
     dep = Deployment(
         topo, image=image, protocol=protocol,
         protocol_config=protocol_config, seed=spec.seed,
@@ -106,7 +109,7 @@ def run_scenario(scenario, protocol="mnp", variant=None):
         controller = FaultController(dep, FaultPlan.from_dict(spec.faults))
         controller.install()
     watchdog = None
-    if protocol == "mnp":
+    if mnp_family:
         power = dep.mote_config.power_level
         watchdog = InvariantWatchdog(
             dep.sim, n_nodes=len(dep.nodes),

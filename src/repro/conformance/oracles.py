@@ -16,19 +16,21 @@ The registry (in evaluation order):
 oracle              asserts
 ==================  ====================================================
 determinism         base and replica runs produced bit-identical metrics
+                    (checked for stock MNP and for coded MNP)
 invariants          no InvariantWatchdog violation on any MNP run; no
                     liveness stall on fault-free scenarios
 content             fault-free runs: every complete node's flash equals
                     the disseminated image byte-for-byte
-delivery            solvable scenarios: MNP reaches 100% coverage before
-                    the deadline (the paper's delivery guarantee)
+delivery            solvable scenarios: MNP and coded MNP reach 100%
+                    coverage before the deadline (the paper's delivery
+                    guarantee)
 loss-monotonicity   an ideal channel never lowers coverage; on solvable
-                    scenarios it also completes
+                    scenarios it also completes (stock and coded)
 reseg-invariance    re-splitting the same image bytes at a different
                     segment size still completes with identical bytes
-cross-protocol      solvable scenarios: deluge and moap (and xnp when
-                    the deployment is single-hop) also reach full
-                    coverage with intact content
+cross-protocol      solvable scenarios: deluge, coded_deluge and moap
+                    (and xnp when the deployment is single-hop) also
+                    reach full coverage with intact content
 ==================  ====================================================
 """
 
@@ -40,7 +42,7 @@ _RESEG_CANDIDATES = (16, 8, 32, 4)
 #: is scheduled too but exempted from the coverage demand (it is an
 #: unreliable baseline by design); ``xnp`` is only scheduled on
 #: single-hop deployments (it is a single-hop protocol by design).
-_CROSS_PROTOCOLS = ("deluge", "moap")
+_CROSS_PROTOCOLS = ("deluge", "coded_deluge", "moap")
 
 
 def reseg_packets(spec):
@@ -55,14 +57,21 @@ def reseg_packets(spec):
 def variants_for(spec):
     """The run fan-out a scenario needs: ``[(role, protocol, variant)]``.
 
-    Every scenario gets a base MNP run and a replica (determinism).
-    Fault-free scenarios add an ideal-channel twin (monotonicity).
-    Solvable scenarios add the re-segmentation twin and the baseline
-    protocols.
+    Every scenario gets a base MNP run and a replica (determinism), and
+    the same pair for coded MNP -- the coded data plane must survive the
+    full fault/sabotage space, not just friendly channels.  Fault-free
+    scenarios add ideal-channel twins (monotonicity).  Solvable
+    scenarios add the re-segmentation twin and the baseline protocols.
     """
-    runs = [("base", "mnp", None), ("replica", "mnp", {"replica": 1})]
+    runs = [
+        ("base", "mnp", None),
+        ("replica", "mnp", {"replica": 1}),
+        ("coded", "coded_mnp", None),
+        ("coded-replica", "coded_mnp", {"replica": 1}),
+    ]
     if spec.faults is None and spec.loss["kind"] != "perfect":
         runs.append(("ideal", "mnp", {"loss": "perfect"}))
+        runs.append(("coded-ideal", "coded_mnp", {"loss": "perfect"}))
     if spec.is_solvable():
         runs.append(("reseg", "mnp",
                      {"segment_packets": reseg_packets(spec)}))
@@ -84,16 +93,19 @@ def _strip_variant(metrics):
 
 
 def oracle_determinism(spec, runs):
-    base, replica = runs.get("base"), runs.get("replica")
-    if base is None or replica is None:
-        return []
-    if _strip_variant(base) != _strip_variant(replica):
-        diff = sorted(
-            k for k in _strip_variant(base)
-            if base.get(k) != replica.get(k)
-        )
-        return [f"base and replica metrics differ in fields {diff}"]
-    return []
+    details = []
+    for first, second in (("base", "replica"), ("coded", "coded-replica")):
+        base, replica = runs.get(first), runs.get(second)
+        if base is None or replica is None:
+            continue
+        if _strip_variant(base) != _strip_variant(replica):
+            diff = sorted(
+                k for k in _strip_variant(base)
+                if base.get(k) != replica.get(k)
+            )
+            details.append(
+                f"{first} and {second} metrics differ in fields {diff}")
+    return details
 
 
 def oracle_invariants(spec, runs):
@@ -122,29 +134,35 @@ def oracle_content(spec, runs):
 def oracle_delivery(spec, runs):
     if not spec.is_solvable():
         return []
-    base = runs["base"]
     details = []
-    if base["deadline_hit"]:
-        details.append("solvable scenario hit the deadline")
-    if not base["all_complete"]:
-        details.append(
-            f"solvable scenario reached coverage {base['coverage']:.3f}"
-            f" ({base['complete']}/{base['alive']} nodes)")
+    for role in ("base", "coded"):
+        metrics = runs.get(role)
+        if metrics is None:
+            continue
+        if metrics["deadline_hit"]:
+            details.append(
+                f"{role}: solvable scenario hit the deadline")
+        if not metrics["all_complete"]:
+            details.append(
+                f"{role}: solvable scenario reached coverage"
+                f" {metrics['coverage']:.3f}"
+                f" ({metrics['complete']}/{metrics['alive']} nodes)")
     return details
 
 
 def oracle_loss_monotonicity(spec, runs):
-    ideal = runs.get("ideal")
-    if ideal is None:
-        return []
-    base = runs["base"]
     details = []
-    if ideal["coverage"] < base["coverage"]:
-        details.append(
-            f"ideal channel lowered coverage: {ideal['coverage']:.3f}"
-            f" < {base['coverage']:.3f}")
-    if spec.is_solvable() and not ideal["all_complete"]:
-        details.append("ideal-channel run failed to complete")
+    for lossy, perfect in (("base", "ideal"), ("coded", "coded-ideal")):
+        ideal = runs.get(perfect)
+        if ideal is None:
+            continue
+        base = runs[lossy]
+        if ideal["coverage"] < base["coverage"]:
+            details.append(
+                f"{perfect}: ideal channel lowered coverage:"
+                f" {ideal['coverage']:.3f} < {base['coverage']:.3f}")
+        if spec.is_solvable() and not ideal["all_complete"]:
+            details.append(f"{perfect}: ideal-channel run failed to complete")
     return details
 
 

@@ -21,14 +21,22 @@ from repro.core.delta import (
     reconstruct_image,
 )
 from repro.core.loss_log import EepromMissingLog
+from repro.core.coding import (
+    CodedSegmentTracker,
+    GenerationDecoder,
+    GenerationEncoder,
+    RankDemand,
+)
 from repro.core.config import MNPConfig
 from repro.core.messages import (
     Advertisement,
+    CodedDataPacket,
     DataPacket,
     DownloadRequest,
     EndDownload,
     LossSummary,
     Query,
+    RankReport,
     RepairRequest,
     StartDownload,
 )
@@ -52,6 +60,12 @@ __all__ = [
     "encode_delta",
     "reconstruct_image",
     "EepromMissingLog",
+    "CodedSegmentTracker",
+    "GenerationDecoder",
+    "GenerationEncoder",
+    "RankDemand",
+    "RankReport",
+    "CodedDataPacket",
     "LossSummary",
     "MNPConfig",
     "MNPNode",

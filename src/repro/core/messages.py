@@ -132,6 +132,57 @@ class DataPacket:
         return 2 + 1 + 1 + len(self.payload)
 
 
+class RankReport:
+    """Coded-MNP substitute for a MissingVector: the requester's decoder
+    rank for the offered generation.  ``count()`` is the rank deficit --
+    how many *innovative* coded packets the requester still needs --
+    which is all a coded sender has to know (any fresh combination
+    serves every listener at once)."""
+
+    __slots__ = ("n", "rank")
+
+    def __init__(self, n, rank):
+        self.n = n
+        self.rank = rank
+
+    def count(self):
+        return max(0, self.n - self.rank)
+
+    def wire_bytes(self):
+        return 1 + 1  # generation size, rank
+
+    def __repr__(self):
+        return f"<RankReport {self.rank}/{self.n}>"
+
+
+class CodedDataPacket(DataPacket):
+    """A random linear combination of one segment's packets.
+
+    The generation id *is* the segment id; ``coeffs`` is the coefficient
+    vector over the generation (one byte per packet in GF(2^8), one bit
+    in GF(2)); ``tail_len`` is the true length of the generation's last
+    plaintext packet so decoders can trim the zero-padding the encoder
+    added for equal-length rows.  Subclasses :class:`DataPacket` so MAC
+    pacing (``isinstance(payload, DataPacket)``) applies unchanged;
+    ``packet_id`` is meaningless under coding and pinned to 0.
+    """
+
+    __slots__ = ("coeffs", "tail_len", "field")
+
+    def __init__(self, source_id, seg_id, coeffs, payload, tail_len,
+                 field="gf256"):
+        super().__init__(source_id, seg_id, 0, payload)
+        self.coeffs = tuple(coeffs)
+        self.tail_len = tail_len
+        self.field = field
+
+    def wire_bytes(self):
+        from repro.core.coding import coeff_wire_bytes
+        # src, seg (= generation id), tail_len, coefficient vector, payload
+        return 2 + 1 + 1 + coeff_wire_bytes(len(self.coeffs), self.field) \
+            + len(self.payload)
+
+
 class EndDownload:
     """The sender finished streaming ``seg_id``."""
 

@@ -414,7 +414,7 @@ class MNPNode:
         self.req_ctr = 0
         self._requesters.clear()
         self.offer_seg = self.rvd_seg
-        self.forward_vector = BitVector.none_set(
+        self.forward_vector = self._new_forward_vector(
             self.program.n_packets(self.offer_seg)
         )
         self._adverts_sent = 0
@@ -519,7 +519,19 @@ class MNPNode:
         self.offer_seg = seg_id
         self.req_ctr = 0
         self._requesters.clear()
-        self.forward_vector = BitVector.none_set(self.program.n_packets(seg_id))
+        self.forward_vector = self._new_forward_vector(
+            self.program.n_packets(seg_id))
+
+    def _new_forward_vector(self, n_packets):
+        """Fresh per-segment demand accumulator for the sender side.
+
+        Stock MNP tracks the union of requesters' MissingVectors; the
+        coded variant overrides this with a rank-deficit counter."""
+        return BitVector.none_set(n_packets)
+
+    def _new_repair_vector(self, n_packets):
+        """Fresh demand accumulator for the query/update phase."""
+        return BitVector.none_set(n_packets)
 
     # ------------------------------------------------------------------
     # Forward + query states (sender side of a download, §3.2/§3.3)
@@ -589,7 +601,7 @@ class MNPNode:
             # are unknown, so the whole segment is streamed.
             self._fwd_packets = list(range(n_packets))
             self._fwd_index = 0
-            self.forward_vector = BitVector.none_set(n_packets)
+            self.forward_vector = self._new_forward_vector(n_packets)
             start = StartDownload(self.node_id, next_seg, n_packets)
             self.mote.mac.send(start, start.wire_bytes())
         else:
@@ -600,7 +612,7 @@ class MNPNode:
             query = Query(self.node_id, self.offer_seg)
             self.mote.mac.send(query, query.wire_bytes())
             self._set_state(MNPState.QUERY)
-            self._repair_vector = BitVector.none_set(
+            self._repair_vector = self._new_repair_vector(
                 self.program.n_packets(self.offer_seg)
             )
             self._query_timer.start(self._query_quiet_ms())

@@ -1,0 +1,125 @@
+"""The coded-dissemination sweep: messages/energy vs link loss.
+
+Runs one (protocol, loss) cell per :class:`~repro.runner.RunSpec` so the
+runner's content-hash cache and worker fleet apply, and exposes
+:func:`run_coding_matrix` for driving the full grid from the CLI
+(``python -m repro sweep --experiment coding``).
+
+The experiment pins its own geometry (a dense 5x5 grid, two 24-packet
+segments) rather than consulting the scale registry: the question it
+answers -- "where does coding beat per-packet retransmission?" -- is a
+function of loss rate and neighborhood density, not of deployment size,
+and pinning keeps every recorded number comparable across machines.
+
+Loss is expressed as a *data-frame* loss percentage: the per-bit error
+rate handed to :class:`~repro.net.loss_models.UniformLossModel` is
+back-computed so a full-size 63-byte data frame (45 B coded/uncoded data
+packet + 18 B PHY overhead) survives with probability ``1 - loss``.
+Smaller control frames see proportionally better odds, exactly as on a
+real radio.
+"""
+
+from repro.core.config import MNPConfig
+from repro.experiments.common import Deployment
+from repro.net.loss_models import PerfectLossModel, UniformLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.core.segments import CodeImage
+from repro.sim.kernel import MINUTE
+
+#: Loss percentages of the recorded sweep (EXPERIMENTS.md).
+LOSS_PCTS = (0, 10, 20, 30, 40, 50)
+
+#: Protocols of the recorded sweep: each stock protocol next to its
+#: coded counterpart.
+CODING_PROTOCOLS = ("mnp", "coded_mnp", "deluge", "coded_deluge")
+
+#: Reference frame for the loss <-> BER conversion: a 45-byte data
+#: packet plus the channel's 18-byte PHY overhead.
+REF_FRAME_BYTES = 63
+
+
+def loss_to_ber(loss_pct, frame_bytes=REF_FRAME_BYTES):
+    """Per-bit error rate at which a ``frame_bytes`` frame is lost with
+    probability ``loss_pct``/100."""
+    p = loss_pct / 100.0
+    if p <= 0:
+        return 0.0
+    if not p < 1:
+        raise ValueError("loss_pct must be < 100")
+    return 1.0 - (1.0 - p) ** (1.0 / (8.0 * frame_bytes))
+
+
+def run_coding_cell(protocol, loss_pct, seed, rows=5, cols=5,
+                    spacing_ft=10.0, n_segments=2, segment_packets=24,
+                    deadline_min=480.0, config=None):
+    """One cell of the sweep; returns ``summary_metrics()`` plus the
+    cell coordinates."""
+    topo = Topology.grid(rows, cols, spacing_ft)
+    image = CodeImage.random(
+        program_id=1, n_segments=n_segments,
+        segment_packets=segment_packets, seed=seed,
+    )
+    loss_model = PerfectLossModel() if loss_pct == 0 \
+        else UniformLossModel(loss_to_ber(loss_pct))
+    protocol_config = None
+    if protocol in ("mnp", "coded_mnp"):
+        protocol_config = MNPConfig(**config) if config else MNPConfig()
+    deployment = Deployment(
+        topo, image=image, protocol=protocol,
+        protocol_config=protocol_config, seed=seed,
+        propagation=PropagationModel(25.0, 3.0),
+        loss_model=loss_model,
+    )
+    result = deployment.run_to_completion(deadline_ms=deadline_min * MINUTE)
+    metrics = result.summary_metrics()
+    metrics["loss_pct"] = loss_pct
+    metrics["protocol"] = protocol
+    return metrics
+
+
+def coding_experiment(spec):
+    """Runner executor (``experiment="coding"``).
+
+    ``spec.overrides`` may carry ``loss_pct`` (default 0), ``rows``,
+    ``cols``, ``spacing_ft``, ``n_segments``, ``segment_packets``,
+    ``deadline_min``, and (for the MNP family) a ``config`` dict of
+    :class:`MNPConfig` keyword arguments.
+    """
+    ov = spec.overrides
+    return run_coding_cell(
+        spec.protocol,
+        ov.get("loss_pct", 0),
+        spec.seed,
+        rows=ov.get("rows", 5),
+        cols=ov.get("cols", 5),
+        spacing_ft=ov.get("spacing_ft", 10.0),
+        n_segments=ov.get("n_segments", 2),
+        segment_packets=ov.get("segment_packets", 24),
+        deadline_min=ov.get("deadline_min", 480.0),
+        config=ov.get("config"),
+    )
+
+
+def run_coding_matrix(protocols=CODING_PROTOCOLS, loss_pcts=LOSS_PCTS,
+                      seeds=(0,), runner=None, scale="default", **overrides):
+    """Drive the whole (protocol x loss x seed) grid through a runner.
+
+    Returns ``{(protocol, loss_pct): [metrics per seed]}``.
+    """
+    from repro.runner import Runner, RunSpec
+
+    runner = runner or Runner()
+    specs = [
+        RunSpec("coding", protocol=protocol, scale=scale, seed=seed,
+                loss_pct=loss_pct, **overrides)
+        for protocol in protocols
+        for loss_pct in loss_pcts
+        for seed in seeds
+    ]
+    results = runner.run(specs)
+    matrix = {}
+    for spec, metrics in zip(specs, results):
+        cell = (spec.protocol, spec.overrides.get("loss_pct", 0))
+        matrix.setdefault(cell, []).append(metrics)
+    return matrix

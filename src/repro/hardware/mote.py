@@ -47,6 +47,9 @@ class Mote:
         self.sim = sim
         self.node_id = node_id
         self.config = config
+        # Kept so protocol layers can derive their own labelled RNG
+        # streams (e.g. coded-MNP coefficient draws) off the run seed.
+        self.seed = seed
         self.radio = Radio(sim, node_id, power_level=config.power_level)
         channel.attach(self.radio)
         self.channel = channel

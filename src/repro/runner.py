@@ -53,6 +53,7 @@ EXPERIMENTS = {
     "chaos": "repro.experiments.chaos:chaos_experiment",
     "conformance": "repro.conformance.execute:conformance_experiment",
     "sharded": "repro.experiments.sharded:sharded_experiment",
+    "coding": "repro.experiments.coding:coding_experiment",
 }
 
 

@@ -194,17 +194,19 @@ def _metrics(**overrides):
     return base
 
 
-def test_variants_always_include_determinism_pair():
+def test_variants_always_include_determinism_pairs():
     spec = small_spec(sabotage="double-write")  # unsolvable
     roles = [role for role, _, _ in variants_for(spec)]
-    assert roles == ["base", "replica"]
+    assert roles == ["base", "replica", "coded", "coded-replica"]
 
 
 def test_variants_for_solvable_spec():
     spec = small_spec(loss={"kind": "uniform", "ber": 1e-4})
     roles = {role for role, _, _ in variants_for(spec)}
     assert {"base", "replica", "ideal", "reseg",
-            "proto:deluge", "proto:moap", "proto:flood"} <= roles
+            "coded", "coded-replica", "coded-ideal",
+            "proto:deluge", "proto:coded_deluge", "proto:moap",
+            "proto:flood"} <= roles
     # 2x2 grid at 10ft spacing with 25ft range is single-hop.
     assert "proto:xnp" in roles
 
