@@ -1,6 +1,6 @@
 # Convenience targets for the MNP reproduction.
 
-.PHONY: install test test-fast conformance bench bench-paper bench-smoke examples figures clean
+.PHONY: install test test-fast conformance adversary bench bench-paper bench-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,11 @@ test-fast:
 
 conformance:
 	python -m repro conformance --budget 50 --seed 7
+
+# Secured attack matrix; exit 1 if any node installs a tampered or
+# rolled-back image.
+adversary:
+	python -m repro adversary --protocols mnp,coded_mnp --intensity 0.6
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -9,6 +9,7 @@ precisely the behaviour the paper's energy comparison exploits.
 
 from repro.core.bitvector import BitVector
 from repro.core.mnp import ProgramInfo
+from repro.hardware.bootloader import InstallResult
 from repro.hardware.eeprom import EepromError
 from repro.hardware.energy import EnergyModel
 
@@ -26,6 +27,15 @@ class BaselineNode:
         self.got_code_time = None
         self.parent = None
         self._energy_model = EnergyModel()
+        # Secure OTA pipeline (repro.core.auth), default off.  Baselines
+        # have no authenticated control channel, so the signed manifest
+        # is *pre-provisioned* by the deployment (a few hundred bytes,
+        # flashed alongside the golden image); version admission and all
+        # content checks verify against it.
+        self.security = None
+        self.manifest = None
+        self.auth_rejects = 0
+        self.quarantines = 0
         mote.mac.on_receive = self._on_frame
         mote.mac.on_send_done = self._on_send_done
         if image is not None:
@@ -115,12 +125,19 @@ class BaselineNode:
 
     def advance_progress(self):
         """Advance ``rvd_seg`` over every consecutively completed segment,
-        emitting progress traces; returns True if full image reached."""
+        emitting progress traces; returns True if full image reached.
+
+        With security enabled every segment is digest-checked against the
+        pre-provisioned manifest before it is accepted; a mismatch
+        quarantines the segment and stops the advance, so the protocol's
+        normal loss recovery re-requests it from scratch."""
         advanced = False
         while (
             self.rvd_seg < self.program.n_segments
             and self.segment_complete(self.rvd_seg + 1)
         ):
+            if not self._verify_segment(self.rvd_seg + 1):
+                break
             self.rvd_seg += 1
             advanced = True
             self.sim.tracer.emit(
@@ -132,6 +149,117 @@ class BaselineNode:
             self.sim.tracer.emit("proto.got_code", node=self.node_id)
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Secure OTA pipeline (no-ops while security is disabled)
+    # ------------------------------------------------------------------
+    def configure_security(self, security, manifest=None):
+        """Enable authenticated dissemination (:mod:`repro.core.auth`).
+
+        Baseline wire formats carry no signatures, so the deployment
+        pre-provisions the signed :class:`~repro.core.auth.ImageManifest`
+        (base stations could equally compute it from their own image);
+        content and version checks then verify against it.  ``None`` or
+        disabled security is a no-op, keeping golden runs bit-identical.
+        """
+        if security is None or not security.enabled:
+            return
+        self.security = security
+        self.manifest = manifest
+
+    def _accepts_version(self, program_id, source_id):
+        """Version admission under security: only the manifest's exact
+        program id is legitimate, and it must beat the running version
+        (rollback refusal).  Always True while security is off."""
+        if self.security is None:
+            return True
+        if (
+            self.manifest is not None
+            and program_id == self.manifest.program_id
+            and program_id > self.mote.bootloader.running_program_id
+        ):
+            return True
+        self.auth_rejects += 1
+        self.sim.tracer.emit(
+            "auth.reject", node=self.node_id, source=source_id,
+            version=program_id, reason="version",
+        )
+        return False
+
+    def _verify_segment(self, seg_id):
+        """Digest-check a completed segment before accepting it; on a
+        mismatch the staged bytes are quarantined and False returned."""
+        if self.security is None or self.manifest is None:
+            return True
+        n = self.program.n_packets(seg_id)
+        try:
+            packets = [
+                self.mote.eeprom.read(self.flash_key(seg_id, pid))
+                for pid in range(n)
+            ]
+        except KeyError:
+            packets = None
+        if packets is not None \
+                and self.manifest.verify_segment(seg_id, packets):
+            return True
+        self._quarantine_segment(seg_id)
+        return False
+
+    def _quarantine_segment(self, seg_id):
+        """Discard a tampered segment (staged EEPROM bytes plus its
+        missing bitmap) so normal loss recovery re-requests it cleanly."""
+        self.quarantines += 1
+        n = self.program.n_packets(seg_id)
+        self.mote.eeprom.discard(
+            self.flash_key(seg_id, pid) for pid in range(n)
+        )
+        self._seg_missing.pop(seg_id, None)
+        self.sim.tracer.emit(
+            "auth.quarantine", node=self.node_id, seg=seg_id,
+        )
+
+    def _quarantine_image(self):
+        """Discard the whole staged image after a bootloader rejection;
+        dissemination restarts from segment one."""
+        if self.program is None:
+            return
+        self.quarantines += 1
+        keys = [
+            self.flash_key(seg_id, pid)
+            for seg_id in range(1, self.program.n_segments + 1)
+            for pid in range(self.program.n_packets(seg_id))
+        ]
+        self.mote.eeprom.discard(keys)
+        self._seg_missing.clear()
+        self.rvd_seg = 0
+        self.got_code_time = None
+        self.sim.tracer.emit(
+            "auth.quarantine", node=self.node_id, seg=0,
+        )
+
+    def install_signal(self):
+        """External start signal: hand the staged image to the bootloader
+        (with manifest verification when secured); True once rebooted
+        into the new program.  A signature/digest rejection quarantines
+        the staged image so the node re-requests a clean copy."""
+        if not self.has_full_image:
+            return False
+        secured = self.security is not None and self.manifest is not None
+        result = self.mote.bootloader.install(
+            self.program.program_id,
+            self.assemble_image(),
+            expected_crc=self.program.image_crc,
+            manifest=self.manifest if secured else None,
+            key=self.security.key if secured else None,
+        )
+        if result in (InstallResult.BAD_SIGNATURE,
+                      InstallResult.DIGEST_MISMATCH):
+            self._quarantine_image()
+            return False
+        if result != InstallResult.OK:
+            return False
+        self.mote.reboot()
+        return True
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -110,6 +110,8 @@ class CodedDelugeNode(DelugeNode):
             if self.role == self.RX:
                 self._rx_timer.start(2 * self._page_time_ms())
         if tracker.decoded and not tracker.is_empty():
+            if not self._verify_generation(page, tracker):
+                return
             try:
                 tracker.flush(
                     lambda pid, data: self.mote.eeprom.write(
@@ -127,6 +129,25 @@ class CodedDelugeNode(DelugeNode):
             if self.role == self.RX:
                 self._rx_timer.stop()
                 self.role = self.MAINTAIN
+
+    def _verify_generation(self, seg_id, tracker):
+        """Security-on digest check of the decoded generation before the
+        EEPROM flush.  A tampered combination poisons the whole matrix,
+        so a mismatch quarantines the entire page (tracker reset to rank
+        zero) and the request/timeout loop refetches it from scratch."""
+        if self.security is None or self.manifest is None:
+            return True
+        if self.manifest.verify_segment(seg_id, tracker.decoded_packets()):
+            return True
+        self.quarantines += 1
+        self.mote.eeprom.discard(
+            self.flash_key(seg_id, pid) for pid in range(tracker.n)
+        )
+        tracker.reset()
+        self.sim.tracer.emit(
+            "auth.quarantine", node=self.node_id, seg=seg_id,
+        )
+        return False
 
     # ------------------------------------------------------------------
     # TX: stream coded combinations

@@ -141,6 +141,11 @@ class DelugeNode(BaselineNode):
 
     def _handle_summary(self, s):
         if self.program is None or s.program_id > self.program.program_id:
+            # Security: summaries are unsigned, so a secured node only
+            # adopts the one version its pre-provisioned manifest vouches
+            # for -- forged "newer" versions and rollbacks are refused.
+            if not self._accepts_version(s.program_id, s.source_id):
+                return
             self.program = ProgramInfo(
                 s.program_id, s.n_segments, s.segment_packets,
                 s.last_seg_packets,

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common workflows:
+Eight commands cover the common workflows:
 
 * ``run``     -- disseminate an image over a grid and print the summary
                  metrics (any protocol);
@@ -18,6 +18,11 @@ Six commands cover the common workflows:
                  across a protocol x fault-class matrix, with the
                  invariant watchdog attached; cached and parallel like
                  ``sweep``;
+* ``adversary`` -- disseminate with the secure OTA pipeline armed while
+                 an in-channel adversary forges advertisements, replays
+                 stale manifests, tampers payloads, and swaps segments
+                 (:mod:`repro.experiments.adversary`); exits 1 if any
+                 node installs a tampered or rolled-back image;
 * ``profile`` -- run the hot-path profiling workloads
                  (:mod:`repro.profiling`) and report events/sec,
                  wall-clock, and channel counters (text or JSON);
@@ -34,6 +39,7 @@ Examples::
     python -m repro sweep --seeds 0-9 --workers 4 --grid 6x6
     python -m repro sweep --experiment coding --seeds 0-2 --workers 4
     python -m repro chaos --protocols mnp,deluge --intensity 0.6 --workers 4
+    python -m repro adversary --attacks tamper,forge --intensity 0.8
     python -m repro profile --grid 20x20 --json
     python -m repro conformance --budget 50 --seed 7 --workers 4
 """
@@ -212,6 +218,40 @@ def _build_parser():
     cha_p.add_argument("--quiet", action="store_true",
                        help="suppress progress/heartbeat lines")
 
+    adv_p = sub.add_parser(
+        "adversary",
+        help="disseminate under attack with the secure OTA pipeline armed")
+    adv_p.add_argument("--protocols", default="mnp,coded_mnp",
+                       help="comma list of protocols "
+                            "(default mnp,coded_mnp)")
+    adv_p.add_argument("--attacks", default=None,
+                       help="comma list of attack classes (default: all of "
+                            "forge,replay,tamper,swap,blended)")
+    adv_p.add_argument("--intensity", type=float, default=0.5,
+                       help="attack intensity in [0,1] (default 0.5)")
+    adv_p.add_argument("--insecure", action="store_true",
+                       help="disarm the secure pipeline (demonstrates what "
+                            "the attacks do to a stock network)")
+    adv_p.add_argument("--grid", type=_parse_grid, default=(6, 6),
+                       metavar="RxC", help="grid shape (default 6x6)")
+    adv_p.add_argument("--segments", type=int, default=2,
+                       help="program size in segments (default 2)")
+    adv_p.add_argument("--segment-packets", type=int, default=32,
+                       help="packets per segment (default 32)")
+    adv_p.add_argument("--seed", type=int, default=0)
+    adv_p.add_argument("--deadline-min", type=float, default=240.0,
+                       help="simulated deadline in minutes (default 240)")
+    adv_p.add_argument("--workers", type=int, default=0,
+                       help="worker processes; 0/1 = serial (default 0)")
+    adv_p.add_argument("--cache-dir", default="benchmarks/cache",
+                       help="manifest directory (default benchmarks/cache)")
+    adv_p.add_argument("--no-cache", action="store_true",
+                       help="always re-simulate; write nothing")
+    adv_p.add_argument("--json", action="store_true",
+                       help="emit the full matrix as JSON")
+    adv_p.add_argument("--quiet", action="store_true",
+                       help="suppress progress/heartbeat lines")
+
     prof_p = sub.add_parser(
         "profile",
         help="profile hot-path events/sec "
@@ -253,6 +293,10 @@ def _build_parser():
     conf_p.add_argument("--fault-fraction", type=float, default=0.3,
                         help="fraction of scenarios with fault plans "
                              "(default 0.3)")
+    conf_p.add_argument("--security-fraction", type=float, default=0.0,
+                        help="fraction of scenarios run with the secure "
+                             "OTA pipeline enabled, each fanning out an "
+                             "adversarial twin (default 0.0)")
     conf_p.add_argument("--workers", type=int, default=0,
                         help="worker processes; 0/1 = serial (default 0)")
     conf_p.add_argument("--cache-dir", default="benchmarks/cache",
@@ -606,6 +650,106 @@ def _cmd_chaos(args, out):
     return 1 if violating else 0
 
 
+def _cmd_adversary(args, out):
+    import sys as _sys
+
+    from repro.experiments.adversary import ADVERSARY_CLASSES
+    from repro.metrics.reports import format_table
+    from repro.runner import RunSpec, Runner
+
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    attacks = (
+        [a.strip() for a in args.attacks.split(",") if a.strip()]
+        if args.attacks else list(ADVERSARY_CLASSES)
+    )
+    unknown = [a for a in attacks if a not in ADVERSARY_CLASSES]
+    if unknown or not attacks or not protocols:
+        _sys.stderr.write(
+            f"repro adversary: error: unknown attack class(es) "
+            f"{', '.join(unknown) or '(none given)'}; "
+            f"known: {', '.join(ADVERSARY_CLASSES)}\n"
+        )
+        return 2
+    rows, cols = args.grid
+    specs = [
+        RunSpec(
+            "adversary", protocol=protocol, seed=args.seed,
+            attack_class=attack, intensity=args.intensity,
+            secured=not args.insecure,
+            rows=rows, cols=cols, n_segments=args.segments,
+            segment_packets=args.segment_packets,
+            deadline_min=args.deadline_min,
+        )
+        for protocol in protocols
+        for attack in attacks
+    ]
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=_sys.stderr, flush=True))
+    runner = Runner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+    )
+    results = runner.run(specs)
+    # The exit code answers the security question only: did any node
+    # install a tampered or rolled-back image, or breach a protocol
+    # invariant?  An adversary that merely costs time is an outcome.
+    violating = sum(
+        1 for m in results if m["watchdog"]["violations"]
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "intensity": args.intensity,
+            "secured": not args.insecure,
+            "grid": f"{rows}x{cols}",
+            "seed": args.seed,
+            "runs": [
+                {"protocol": spec.protocol,
+                 "attack_class": spec.overrides["attack_class"],
+                 "key": spec.cache_key(),
+                 "metrics": metrics}
+                for spec, metrics in zip(specs, results)
+            ],
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 1 if violating else 0
+    table_rows = []
+    for spec, m in zip(specs, results):
+        wd = m["watchdog"]
+        if wd["violations"]:
+            verdict = f"VIOLATED({len(wd['violations'])})"
+        elif wd["stalls"]:
+            verdict = f"stalled({len(wd['stalls'])})"
+        else:
+            verdict = "ok"
+        table_rows.append([
+            spec.protocol, spec.overrides["attack_class"],
+            f"{m['survivor_coverage']:.0%}",
+            m["installs"]["installed"], m["installs"]["rejected"],
+            m["auth_rejects"], m["quarantines"],
+            m["tampered_installs"], verdict,
+        ])
+    mode = "insecure" if args.insecure else "secured"
+    out.write(format_table(
+        ["protocol", "attack", "coverage", "installed", "refused",
+         "auth_rej", "quarant", "tampered", "watchdog"],
+        table_rows,
+        title=(f"Adversary ({mode}): {rows}x{cols} grid, intensity "
+               f"{args.intensity}, seed {args.seed}"),
+    ) + "\n")
+    out.write(
+        "  auth_rej counts refused advertisements; quarant counts\n"
+        "  discarded-and-re-requested segments; tampered counts installs\n"
+        "  of images that were not the authentic one (must be 0)\n"
+    )
+    if violating:
+        out.write(f"  {violating} run(s) breached install/protocol "
+                  "invariants\n")
+    return 1 if violating else 0
+
+
 def _cmd_profile(args, out):
     import json
 
@@ -658,6 +802,7 @@ def _cmd_conformance(args, out):
     verdict = run_conformance(
         budget=args.budget, seed=args.seed,
         fault_fraction=args.fault_fraction,
+        security_fraction=args.security_fraction,
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=progress,
@@ -844,6 +989,8 @@ def main(argv=None, out=None):
         return _cmd_sweep(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "adversary":
+        return _cmd_adversary(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
     if args.command == "conformance":

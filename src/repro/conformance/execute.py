@@ -76,13 +76,24 @@ def run_scenario(scenario, protocol="mnp", variant=None):
     ``variant`` tweaks the run along exactly one oracle axis:
     ``{"replica": k}`` (ignored -- it only defeats the result cache so a
     differential twin really re-executes), ``{"loss": "perfect"}`` (ideal
-    channel), or ``{"segment_packets": p}`` (re-split the same image
-    bytes).
+    channel), ``{"segment_packets": p}`` (re-split the same image
+    bytes), or ``{"adversary": plan_dict}`` (an adversarial fault plan
+    appended to the scenario's own -- the security-enabled spec must
+    survive it without installing a tampered or rolled-back image).
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) \
         else ScenarioSpec.from_dict(scenario)
     variant = dict(variant or {})
     variant.pop("replica", None)
+    faults = spec.faults
+    adversary = variant.get("adversary")
+    if adversary is not None:
+        if faults is None:
+            faults = dict(adversary)
+        else:
+            faults = dict(faults)
+            faults["specs"] = list(faults["specs"]) \
+                + list(adversary["specs"])
 
     topo = spec.build_topology()
     image = spec.build_image(
@@ -96,17 +107,19 @@ def run_scenario(scenario, protocol="mnp", variant=None):
     # the same MNPConfig and the same watchdog audit.
     mnp_family = protocol in ("mnp", "coded_mnp")
     protocol_config = MNPConfig(**spec.config) if mnp_family else None
+    security = spec.build_security()
     dep = Deployment(
         topo, image=image, protocol=protocol,
         protocol_config=protocol_config, seed=spec.seed,
         propagation=PropagationModel(spec.range_ft, 3.0),
         loss_model=loss_model,
         mote_config=MoteConfig(power_level=spec.power_level),
+        security=security,
     )
 
     controller = None
-    if spec.faults is not None:
-        controller = FaultController(dep, FaultPlan.from_dict(spec.faults))
+    if faults is not None:
+        controller = FaultController(dep, FaultPlan.from_dict(faults))
         controller.install()
     watchdog = None
     if mnp_family:
@@ -114,6 +127,8 @@ def run_scenario(scenario, protocol="mnp", variant=None):
         watchdog = InvariantWatchdog(
             dep.sim, n_nodes=len(dep.nodes),
             neighbors_fn=lambda nid: dep.channel.neighbors(nid, power),
+            expected_digest=hashlib.sha256(image.to_bytes()).hexdigest(),
+            expected_version=image.program_id,
         )
 
     dep.start()
@@ -133,6 +148,21 @@ def run_scenario(scenario, protocol="mnp", variant=None):
     sabotaged_node = None
     if spec.sabotage is not None:
         sabotaged_node = _sabotage(spec, dep)
+
+    # Secure scenarios exercise the whole pipeline end-to-end: the
+    # external start signal drives every staged image through the
+    # bootloader (emitting boot.install/boot.reject for the watchdog's
+    # authentic-install audit) before the end-of-run checks.
+    installs = None
+    auth = None
+    if security is not None:
+        installs = dep.install_all()
+        auth = {
+            "rejects": sum(getattr(n, "auth_rejects", 0)
+                           for n in dep.nodes.values()),
+            "quarantines": sum(getattr(n, "quarantines", 0)
+                               for n in dep.nodes.values()),
+        }
 
     verdict = None
     if watchdog is not None:
@@ -167,6 +197,9 @@ def run_scenario(scenario, protocol="mnp", variant=None):
         "watchdog": verdict,
         "faults": controller.summary() if controller else None,
         "sabotaged_node": sabotaged_node,
+        "secured": security is not None,
+        "installs": installs,
+        "auth": auth,
     }
     return metrics
 

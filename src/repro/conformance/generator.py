@@ -50,13 +50,20 @@ class ScenarioGenerator:
         Master seed; ``sample(i)`` depends only on ``(seed, i)``.
     fault_fraction:
         Fraction of scenarios that carry a fault plan (default 0.3).
+    security_fraction:
+        Fraction of scenarios that run with the secure OTA pipeline
+        enabled (default 0.0; the guard below draws *nothing* at zero,
+        so pre-security streams are reproduced draw-for-draw).
     """
 
-    def __init__(self, seed=0, fault_fraction=0.3):
+    def __init__(self, seed=0, fault_fraction=0.3, security_fraction=0.0):
         if not 0.0 <= fault_fraction <= 1.0:
             raise ValueError("fault_fraction must be in [0,1]")
+        if not 0.0 <= security_fraction <= 1.0:
+            raise ValueError("security_fraction must be in [0,1]")
         self.seed = seed
         self.fault_fraction = fault_fraction
+        self.security_fraction = security_fraction
 
     # ------------------------------------------------------------------
     def sample(self, index):
@@ -71,6 +78,12 @@ class ScenarioGenerator:
         faults = None
         if rng.random() < self.fault_fraction:
             faults = self._sample_faults(rng)
+        security = None
+        if self.security_fraction > 0.0 \
+                and rng.random() < self.security_fraction:
+            from repro.core.auth import SecurityConfig
+
+            security = SecurityConfig(enabled=True).to_dict()
         topology = self._sample_topology(rng, range_ft, power_level)
         return ScenarioSpec(
             seed=scenario_seed,
@@ -82,6 +95,7 @@ class ScenarioGenerator:
             config=config,
             faults=faults,
             deadline_min=240.0,
+            security=security,
         )
 
     def scenarios(self, budget):

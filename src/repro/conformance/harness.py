@@ -54,15 +54,19 @@ def evaluate_scenario(spec, runner=None):
 
 def run_conformance(budget, seed=0, fault_fraction=0.3, workers=0,
                     cache_dir=None, progress=None, do_shrink=True,
-                    artifact_dir=None, max_shrink_evals=150):
+                    artifact_dir=None, max_shrink_evals=150,
+                    security_fraction=0.0):
     """Fuzz ``budget`` scenarios; returns the verdict manifest (a dict).
 
     ``verdict["ok"]`` is False iff any oracle violation survived; the CLI
     maps that to exit status 1.  ``artifact_dir`` (usually
     ``tests/corpus/failures``) receives one JSON + repro-snippet pair per
-    shrunk failure when set.
+    shrunk failure when set.  ``security_fraction`` > 0 runs that share
+    of scenarios with the secure OTA pipeline enabled, each fanning out
+    an adversarial twin on top of its usual variants.
     """
-    generator = ScenarioGenerator(seed=seed, fault_fraction=fault_fraction)
+    generator = ScenarioGenerator(seed=seed, fault_fraction=fault_fraction,
+                                  security_fraction=security_fraction)
     scenarios = generator.scenarios(budget)
     runner = Runner(workers=workers, cache_dir=cache_dir, progress=progress)
 
@@ -123,6 +127,7 @@ def run_conformance(budget, seed=0, fault_fraction=0.3, workers=0,
         "budget": budget,
         "seed": seed,
         "fault_fraction": fault_fraction,
+        "security_fraction": security_fraction,
         "total_runs": len(flat),
         "ok": not failure_reports,
         "scenarios": scenario_reports,

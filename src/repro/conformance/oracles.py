@@ -31,7 +31,21 @@ reseg-invariance    re-splitting the same image bytes at a different
 cross-protocol      solvable scenarios: deluge, coded_deluge and moap
                     (and xnp when the deployment is single-hop) also
                     reach full coverage with intact content
+secure-install      security-enabled scenarios: every node that
+                    completed boots the legitimate image, none is
+                    refused by the bootloader after passing segment
+                    verification, and no adversarial twin ever installs
+                    a tampered or rolled-back image (the watchdog's
+                    authentic-install audit, surfaced via `invariants`,
+                    plus the install accounting here)
 ==================  ====================================================
+
+Security-enabled scenarios additionally fan out *adversarial twins*
+(roles ``adversary`` / ``coded-adversary``): the same spec with a
+standard attack plan -- forged advertisements, replayed manifests,
+payload tampering, segment swaps -- appended to its faults.  Stalls on
+those roles are outcomes, not bugs (an attacker may cost time, never
+integrity).
 """
 
 #: Segment sizes the re-segmentation twin tries, in preference order; the
@@ -43,6 +57,29 @@ _RESEG_CANDIDATES = (16, 8, 32, 4)
 #: unreliable baseline by design); ``xnp`` is only scheduled on
 #: single-hop deployments (it is a single-hop protocol by design).
 _CROSS_PROTOCOLS = ("deluge", "coded_deluge", "moap")
+
+
+#: Roles whose runs carry an injected adversary (stall exemption +
+#: secure-install audit target).
+_ADVERSARY_ROLES = ("adversary", "coded-adversary")
+
+
+def adversary_plan(spec):
+    """The standard attack plan an adversarial twin injects: every
+    attack class the secure pipeline defends against, at rates a clean
+    re-request loop can out-run.  Pure function of nothing -- the plan is
+    the same for every spec, so the twin differs from its base run only
+    by the adversary."""
+    from repro.faults import FaultPlan
+
+    return (
+        FaultPlan(salt="conformance-adversary")
+        .forged_advertisements(probability=0.25)
+        .replayed_manifest(probability=0.25)
+        .payload_tampering(probability=0.04)
+        .segment_swap(probability=0.04)
+        .to_dict()
+    )
 
 
 def reseg_packets(spec):
@@ -72,6 +109,12 @@ def variants_for(spec):
     if spec.faults is None and spec.loss["kind"] != "perfect":
         runs.append(("ideal", "mnp", {"loss": "perfect"}))
         runs.append(("coded-ideal", "coded_mnp", {"loss": "perfect"}))
+    if spec.security is not None:
+        # Every security-enabled scenario gets adversarial twins: the
+        # same runs with the standard attack plan layered on top.
+        plan = adversary_plan(spec)
+        runs.append(("adversary", "mnp", {"adversary": plan}))
+        runs.append(("coded-adversary", "coded_mnp", {"adversary": plan}))
     if spec.is_solvable():
         runs.append(("reseg", "mnp",
                      {"segment_packets": reseg_packets(spec)}))
@@ -116,7 +159,9 @@ def oracle_invariants(spec, runs):
             continue
         for violation in verdict["violations"]:
             details.append(f"{role}: {violation}")
-        if spec.faults is None:
+        # A stall while under attack is an outcome (the adversary may
+        # cost time, never integrity); in a clean run it is a bug.
+        if spec.faults is None and role not in _ADVERSARY_ROLES:
             for stall in verdict["stalls"]:
                 details.append(f"{role}: liveness stall: {stall}")
     return details
@@ -198,6 +243,32 @@ def oracle_cross_protocol(spec, runs):
     return details
 
 
+def oracle_secure_install(spec, runs):
+    details = []
+    for role in sorted(runs):
+        metrics = runs[role]
+        installs = metrics.get("installs")
+        if installs is None:
+            continue
+        if installs["rejected"]:
+            details.append(
+                f"{role}: {installs['rejected']} staged image(s) refused "
+                "by the bootloader after passing segment verification")
+        # Every node that completed must boot the image it verified.
+        # Completion itself belongs to the delivery / cross-protocol
+        # oracles; on adversary roles it is an outcome, not a demand --
+        # an unbounded in-channel attacker may cost availability (the
+        # clean twins still prove the scenario solvable), never
+        # integrity.  The authentic-install audit (via `invariants`) and
+        # the install accounting here are the contract under attack.
+        if installs["installed"] != metrics["complete"]:
+            details.append(
+                f"{role}: only {installs['installed']}/"
+                f"{metrics['complete']} complete nodes booted the new "
+                "image")
+    return details
+
+
 #: name -> oracle function, in evaluation order.
 ORACLES = {
     "determinism": oracle_determinism,
@@ -207,6 +278,7 @@ ORACLES = {
     "loss-monotonicity": oracle_loss_monotonicity,
     "reseg-invariance": oracle_reseg_invariance,
     "cross-protocol": oracle_cross_protocol,
+    "secure-install": oracle_secure_install,
 }
 
 

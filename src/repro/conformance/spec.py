@@ -80,11 +80,12 @@ class ScenarioSpec:
     """
 
     FIELDS = ("seed", "topology", "image", "power_level", "range_ft",
-              "loss", "config", "faults", "deadline_min", "sabotage")
+              "loss", "config", "faults", "deadline_min", "sabotage",
+              "security")
 
     def __init__(self, seed=0, topology=None, image=None, power_level=255,
                  range_ft=25.0, loss=None, config=None, faults=None,
-                 deadline_min=240.0, sabotage=None):
+                 deadline_min=240.0, sabotage=None, security=None):
         self.seed = int(seed)
         self.topology = dict(topology or {"kind": "grid", "rows": 3,
                                           "cols": 3, "spacing_ft": 10.0})
@@ -100,6 +101,7 @@ class ScenarioSpec:
         self.faults = None if faults is None else dict(faults)
         self.deadline_min = float(deadline_min)
         self.sabotage = sabotage
+        self.security = None if security is None else dict(security)
         self._validate()
 
     # ------------------------------------------------------------------
@@ -146,6 +148,12 @@ class ScenarioSpec:
             raise ValueError("deadline_min must be positive")
         if self.sabotage not in SABOTAGE_MODES:
             raise ValueError(f"unknown sabotage mode {self.sabotage!r}")
+        if self.security is not None:
+            # Round-trip through SecurityConfig validates the shape (and
+            # the hex key) loudly at construction time.
+            from repro.core.auth import SecurityConfig
+
+            SecurityConfig.from_dict(self.security)
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -210,6 +218,15 @@ class ScenarioSpec:
         return CodeImage.from_bytes(program_id, data,
                                     segment_packets=segment_packets)
 
+    def build_security(self):
+        """The spec's :class:`~repro.core.auth.SecurityConfig` (or None,
+        the default, which installs nothing at all)."""
+        if self.security is None:
+            return None
+        from repro.core.auth import SecurityConfig
+
+        return SecurityConfig.from_dict(self.security)
+
     def build_loss_model(self):
         from repro.net.loss_models import (
             EmpiricalLossModel,
@@ -262,7 +279,7 @@ class ScenarioSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self):
-        return {
+        data = {
             "seed": self.seed,
             "topology": dict(self.topology),
             "image": dict(self.image),
@@ -274,6 +291,11 @@ class ScenarioSpec:
             "deadline_min": self.deadline_min,
             "sabotage": self.sabotage,
         }
+        # Omitted when None so every pre-security corpus key (and run
+        # cache entry) is unchanged.
+        if self.security is not None:
+            data["security"] = dict(self.security)
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -285,7 +307,7 @@ class ScenarioSpec:
     def replace(self, **overrides):
         """A validated copy with the given fields changed (shrinking)."""
         fields = self.to_dict()
-        unknown = set(overrides) - set(fields)
+        unknown = set(overrides) - set(self.FIELDS)
         if unknown:
             raise ValueError(f"unknown ScenarioSpec fields: {sorted(unknown)}")
         fields.update(overrides)
@@ -311,6 +333,8 @@ class ScenarioSpec:
             extras.append(f"{len(self.faults.get('specs', ()))} fault(s)")
         if self.sabotage:
             extras.append(f"sabotage={self.sabotage}")
+        if self.security is not None and self.security.get("enabled"):
+            extras.append("secure")
         tail = f" [{', '.join(extras)}]" if extras else ""
         return (f"{shape} seed={self.seed} "
                 f"img={img['n_segments']}x{img['segment_packets']}pk "

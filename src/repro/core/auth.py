@@ -1,0 +1,290 @@
+"""Authenticated OTA images: digests, hash chains, and signed manifests.
+
+MNP's accuracy requirement (§2) only demands that the *received* image
+match the *advertised* one -- a CRC-16 catches channel noise but not an
+adversary, who can forge an advertisement, replay a stale version, or
+craft a corrupted payload with a colliding CRC.  This module supplies the
+cryptographic half of the secure OTA pipeline, pure stdlib
+(:mod:`hashlib` / :mod:`hmac`):
+
+* **Image digest** -- SHA-256 over the reassembled image bytes; the
+  bootloader refuses to install anything whose digest differs.
+* **Per-segment hash chain** -- each segment's packets hash to a segment
+  digest ``d_i``; the chain ``c_n = H(d_n)``, ``c_i = H(d_i || c_{i+1})``
+  anchors the whole list in a single 32-byte value, so signing the
+  *anchor* transitively authenticates every segment digest.  A receiver
+  verifies each completed segment against its digest *before* the bytes
+  are accepted into flash.
+* **Signed manifest** -- :class:`ImageManifest` carries the image
+  geometry, version, image digest, segment digests and chain anchor, and
+  is signed with HMAC-SHA256 over (header || image digest || anchor).
+  The version (``program_id``) is under the signature, which is what
+  makes the rollback rule enforceable.
+* **Advertisement freshness** -- signed advertisements carry a per-source
+  monotonic nonce under their own HMAC tag (:func:`adv_tag`); receivers
+  remember the highest nonce seen per source and drop replays.
+
+Everything here is deterministic and key-symmetric (one network-wide
+pre-shared key, the standard sensor-network deployment model); the
+simulation never draws randomness for security, so enabling it perturbs
+no RNG stream.
+"""
+
+import hashlib
+import hmac
+import struct
+
+#: SHA-256 digest length; every digest/tag in the pipeline is 32 bytes.
+DIGEST_BYTES = 32
+
+_MAGIC = b"MNPM"
+_VERSION = 1
+#: magic, format version, program_id, n_segments, segment_packets,
+#: last_seg_packets, size_bytes
+_HEADER = struct.Struct(">4sBIHHHI")
+
+_ADV_CONTEXT = b"mnp-adv-v1"
+
+
+class AuthError(ValueError):
+    """A manifest or signed advertisement failed to decode or verify."""
+
+
+class SecurityConfig:
+    """Deployment-wide security switch and pre-shared key.
+
+    Defaults **off**: a disabled config installs no hooks, draws no
+    randomness and changes no wire bytes, so every golden run stays
+    bit-identical.  Enabled, all nodes share ``key`` (the deployment-time
+    network key of the usual WSN trust model).
+    """
+
+    __slots__ = ("enabled", "key")
+
+    DEFAULT_KEY = b"mnp-network-key"
+
+    def __init__(self, enabled=False, key=DEFAULT_KEY):
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        if not key:
+            raise ValueError("security key must be non-empty")
+        self.enabled = bool(enabled)
+        self.key = bytes(key)
+
+    def to_dict(self):
+        return {"enabled": self.enabled, "key": self.key.hex()}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(enabled=data["enabled"], key=bytes.fromhex(data["key"]))
+
+    def __eq__(self, other):
+        return (isinstance(other, SecurityConfig)
+                and self.enabled == other.enabled and self.key == other.key)
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"<SecurityConfig {state}>"
+
+
+# ----------------------------------------------------------------------
+# Digests and the segment hash chain
+# ----------------------------------------------------------------------
+def segment_digest(packets):
+    """SHA-256 over a segment's packet payloads, concatenated in order."""
+    h = hashlib.sha256()
+    for packet in packets:
+        h.update(packet)
+    return h.digest()
+
+
+def chain_anchor(seg_digests):
+    """Anchor of the backward hash chain over the segment digests.
+
+    ``c_n = H(d_n)``, ``c_i = H(d_i || c_{i+1})``; the anchor is ``c_1``.
+    Signing the anchor authenticates the full digest list: no digest can
+    be altered, reordered, dropped or appended without changing ``c_1``.
+    """
+    anchor = b""
+    for digest in reversed(list(seg_digests)):
+        anchor = hashlib.sha256(digest + anchor).digest()
+    return anchor
+
+
+def adv_tag(key, source_id, program_id, n_segments, high_seg_id,
+            offer_seg_id, req_ctr, segment_packets, last_seg_packets,
+            group_id, image_crc, nonce, manifest_signature):
+    """HMAC-SHA256 tag over *every* advertisement field, bound to the
+    manifest it carries via the manifest signature.  Covering the full
+    header (geometry, ReqCtr, group, CRC included) means a single
+    flipped bit anywhere in a signed advertisement fails verification --
+    there is no unauthenticated side channel to tamper with."""
+    payload = struct.pack(
+        ">IIHHHHHHBBHQ", source_id, program_id, n_segments, high_seg_id,
+        offer_seg_id, req_ctr, segment_packets, last_seg_packets,
+        group_id, 0 if image_crc is None else 1,
+        0 if image_crc is None else image_crc, nonce,
+    )
+    return hmac.new(
+        key, _ADV_CONTEXT + payload + manifest_signature, hashlib.sha256
+    ).digest()
+
+
+# ----------------------------------------------------------------------
+# The signed image manifest
+# ----------------------------------------------------------------------
+class ImageManifest:
+    """Signed description of one program image (see module docstring).
+
+    Build with :meth:`of_image`; ship as bytes via :meth:`encode` /
+    :meth:`decode`; check with :meth:`verify` (signature + chain anchor)
+    and :meth:`verify_segment` / :meth:`verify_image` (content).
+    """
+
+    __slots__ = ("program_id", "n_segments", "segment_packets",
+                 "last_seg_packets", "size_bytes", "image_digest",
+                 "seg_digests", "anchor", "signature")
+
+    def __init__(self, program_id, n_segments, segment_packets,
+                 last_seg_packets, size_bytes, image_digest, seg_digests,
+                 anchor, signature):
+        self.program_id = program_id
+        self.n_segments = n_segments
+        self.segment_packets = segment_packets
+        self.last_seg_packets = last_seg_packets
+        self.size_bytes = size_bytes
+        self.image_digest = image_digest
+        self.seg_digests = tuple(seg_digests)
+        self.anchor = anchor
+        self.signature = signature
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_image(cls, image, key):
+        """Digest, chain and sign a :class:`~repro.core.segments.CodeImage`."""
+        seg_digests = tuple(
+            segment_digest(segment.packets) for segment in image.segments
+        )
+        anchor = chain_anchor(seg_digests)
+        manifest = cls(
+            program_id=image.program_id,
+            n_segments=image.n_segments,
+            segment_packets=image.segments[0].n_packets,
+            last_seg_packets=image.segments[-1].n_packets,
+            size_bytes=image.size_bytes,
+            image_digest=hashlib.sha256(image.to_bytes()).digest(),
+            seg_digests=seg_digests,
+            anchor=anchor,
+            signature=b"",
+        )
+        manifest.signature = manifest.sign(key)
+        return manifest
+
+    def _signed_payload(self):
+        return self._header_bytes() + self.image_digest + self.anchor
+
+    def _header_bytes(self):
+        return _HEADER.pack(
+            _MAGIC, _VERSION, self.program_id, self.n_segments,
+            self.segment_packets, self.last_seg_packets, self.size_bytes,
+        )
+
+    def sign(self, key):
+        """HMAC-SHA256 over (header || image digest || chain anchor)."""
+        return hmac.new(key, self._signed_payload(), hashlib.sha256).digest()
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self, key):
+        """True iff the signature checks out *and* the chain anchor matches
+        the carried segment digests (the anchor is what the signature
+        covers; recomputing it extends trust to the digest list)."""
+        if len(self.signature) != DIGEST_BYTES:
+            return False
+        if not hmac.compare_digest(self.signature, self.sign(key)):
+            return False
+        return hmac.compare_digest(self.anchor,
+                                   chain_anchor(self.seg_digests))
+
+    def verify_segment(self, seg_id, packets):
+        """True iff ``packets`` hash to segment ``seg_id``'s digest
+        (1-based, matching the protocol's segment ids)."""
+        if not 1 <= seg_id <= self.n_segments:
+            return False
+        return hmac.compare_digest(
+            self.seg_digests[seg_id - 1], segment_digest(packets)
+        )
+
+    def verify_image(self, image_bytes):
+        """True iff the reassembled image hashes to the signed digest."""
+        return hmac.compare_digest(
+            self.image_digest, hashlib.sha256(image_bytes).digest()
+        )
+
+    # ------------------------------------------------------------------
+    # Wire codec
+    # ------------------------------------------------------------------
+    def encode(self):
+        """Serialize to bytes (header, image digest, per-segment digests,
+        anchor, signature)."""
+        if len(self.seg_digests) != self.n_segments:
+            raise AuthError("segment digest count does not match geometry")
+        return b"".join((
+            self._header_bytes(),
+            self.image_digest,
+            b"".join(self.seg_digests),
+            self.anchor,
+            self.signature,
+        ))
+
+    @classmethod
+    def decode(cls, data):
+        """Parse bytes into a manifest; raises :class:`AuthError` on any
+        malformation (truncation, bad magic, unknown version, trailing
+        garbage).  Decoding never authenticates -- call :meth:`verify`."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise AuthError("manifest must be bytes")
+        data = bytes(data)
+        if len(data) < _HEADER.size:
+            raise AuthError("manifest truncated before header end")
+        magic, version, program_id, n_segments, segment_packets, \
+            last_seg_packets, size_bytes = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise AuthError(f"bad manifest magic {magic!r}")
+        if version != _VERSION:
+            raise AuthError(f"unsupported manifest version {version}")
+        if n_segments < 1:
+            raise AuthError("manifest declares zero segments")
+        expected = _HEADER.size + DIGEST_BYTES * (n_segments + 3)
+        if len(data) != expected:
+            raise AuthError(
+                f"manifest length {len(data)} != expected {expected} "
+                f"for {n_segments} segment(s)")
+        off = _HEADER.size
+        image_digest = data[off:off + DIGEST_BYTES]
+        off += DIGEST_BYTES
+        seg_digests = tuple(
+            data[off + i * DIGEST_BYTES:off + (i + 1) * DIGEST_BYTES]
+            for i in range(n_segments)
+        )
+        off += DIGEST_BYTES * n_segments
+        anchor = data[off:off + DIGEST_BYTES]
+        off += DIGEST_BYTES
+        signature = data[off:off + DIGEST_BYTES]
+        return cls(program_id, n_segments, segment_packets,
+                   last_seg_packets, size_bytes, image_digest, seg_digests,
+                   anchor, signature)
+
+    def encoded_bytes(self):
+        """Wire size of the encoded manifest."""
+        return _HEADER.size + DIGEST_BYTES * (self.n_segments + 3)
+
+    def __eq__(self, other):
+        return (isinstance(other, ImageManifest)
+                and self.encode() == other.encode())
+
+    def __repr__(self):
+        return (f"<ImageManifest v{self.program_id} "
+                f"{self.n_segments} segments, "
+                f"digest {self.image_digest.hex()[:12]}...>")

@@ -122,6 +122,19 @@ class CodedMNPNode(MNPNode):
             deficit = n_packets
         return deficit + self.overhead
 
+    def _concede_advertisement(self, adv):
+        # A coded round is deficit-sized, so the winner's whole transfer
+        # can finish inside the loser's nap: a requester that sleeps
+        # here never hears the StartDownload it just solicited, and on a
+        # quiet channel the round replays verbatim forever (livelock).
+        # When the winner offers the very segment we need next, stay in
+        # ADVERTISE -- its StartDownload moves us to DOWNLOAD.  Stock
+        # rounds stream whole segments that outlast the nap, so stock
+        # keeps the paper's concession sleep.
+        if self._needs_code_from(adv) and adv.offer_seg_id == self.rvd_seg + 1:
+            return
+        super()._concede_advertisement(adv)
+
     def _enter_forward(self):
         self._stop_all_timers()
         self._set_state(MNPState.FORWARD)
@@ -194,6 +207,8 @@ class CodedMNPNode(MNPNode):
         tracker = self._missing_for(msg.seg_id)
         progressed = tracker.absorb(msg.coeffs, msg.payload, msg.tail_len)
         if tracker.decoded and not tracker.is_empty():
+            if not self._verify_generation(msg.seg_id, tracker):
+                return False
             try:
                 flushed = tracker.flush(
                     lambda pid, data, seg=msg.seg_id: self.mote.eeprom.write(
@@ -207,6 +222,32 @@ class CodedMNPNode(MNPNode):
                 return False
             progressed = progressed or flushed
         return progressed
+
+    def _verify_generation(self, seg_id, tracker):
+        """Security-on digest check of the *decoded* generation, run
+        between Gauss-Jordan completion and the EEPROM flush.
+
+        A tampered coded packet poisons the whole matrix -- every
+        recovered packet may be garbage even though each received frame
+        looked valid -- so on a digest mismatch the entire generation is
+        quarantined (tracker reset to rank zero, any flushed bytes
+        discarded) and the node fails into a clean re-request.
+        """
+        if self.security is None or self.manifest is None:
+            return True
+        if self.manifest.verify_segment(seg_id, tracker.decoded_packets()):
+            return True
+        self.quarantines += 1
+        n = tracker.n
+        self.mote.eeprom.discard(
+            self._flash_key(seg_id, pid) for pid in range(n)
+        )
+        tracker.reset()
+        self.sim.tracer.emit(
+            "auth.quarantine", node=self.node_id, seg=seg_id,
+        )
+        self._fail("generation digest mismatch")
+        return False
 
     # ------------------------------------------------------------------
     # Accounting and fault hooks

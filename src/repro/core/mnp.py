@@ -43,6 +43,7 @@ from repro.core.messages import (
     LossSummary,
     Query,
     RepairRequest,
+    SignedAdvertisement,
     StartDownload,
 )
 from repro.core.sender_selection import loses_to, preempted_by_lower_segment
@@ -178,6 +179,16 @@ class MNPNode:
         self._listen_timer = mote.new_timer(self._maybe_nap_until_next_adv,
                                             "listen")
 
+        # Secure OTA pipeline (repro.core.auth), default off: with no
+        # SecurityConfig the node behaves bit-identically to stock MNP
+        # (no hooks, no extra RNG draws, unchanged wire formats).
+        self.security = None  # SecurityConfig once configure_security()
+        self.manifest = None  # verified ImageManifest for self.program
+        self._adv_nonce = 0  # our own monotonic advertisement nonce
+        self._nonce_seen = {}  # source id -> highest authenticated nonce
+        self.auth_rejects = 0  # advertisements dropped by authentication
+        self.quarantines = 0  # segments discarded on digest mismatch
+
         # Statistics.
         self.sender_rounds = 0
         self.fails = 0
@@ -220,17 +231,47 @@ class MNPNode:
     def has_full_image(self):
         return self.program is not None and self.rvd_seg == self.program.n_segments
 
+    def configure_security(self, security):
+        """Enable the secure OTA pipeline (:mod:`repro.core.auth`).
+
+        Called by the deployment before :meth:`start`.  A base station
+        signs its image into a manifest; everyone else obtains the
+        manifest from verified signed advertisements.  A ``None`` or
+        disabled config is a no-op, keeping golden runs bit-identical.
+        """
+        if security is None or not security.enabled:
+            return
+        from repro.core.auth import ImageManifest
+
+        self.security = security
+        if self._base_image is not None:
+            self.manifest = ImageManifest.of_image(
+                self._base_image, security.key)
+
     def install_signal(self):
         """External start signal (§3.5): verify and install the staged
         image through the bootloader; returns True if the node rebooted
-        into the new program."""
+        into the new program.
+
+        With security enabled the bootloader additionally demands the
+        signed manifest's digest and signature; a rejected image is
+        quarantined (staged bytes discarded, progress reset) so the node
+        re-requests a clean copy instead of re-verifying the same
+        tampered bytes forever."""
         if not self.has_full_image:
             return False
+        secured = self.security is not None and self.manifest is not None
         result = self.mote.bootloader.install(
             self.program.program_id,
             self.assemble_image(),
             expected_crc=self.program.image_crc,
+            manifest=self.manifest if secured else None,
+            key=self.security.key if secured else None,
         )
+        if result in (InstallResult.BAD_SIGNATURE,
+                      InstallResult.DIGEST_MISMATCH):
+            self._quarantine_image()
+            return False
         if result != InstallResult.OK:
             return False
         self.mote.reboot()
@@ -269,6 +310,10 @@ class MNPNode:
         self._stop_all_timers()
         self._base_image = image
         self.program = ProgramInfo.of_image(image)
+        if self.security is not None:
+            from repro.core.auth import ImageManifest
+
+            self.manifest = ImageManifest.of_image(image, self.security.key)
         self.rvd_seg = image.n_segments
         self._seg_missing.clear()
         for segment in image.segments:
@@ -463,7 +508,19 @@ class MNPNode:
             # §6 extension: low-battery nodes advertise at reduced power,
             # reach fewer requesters, and so lose the sender selection.
             self.mote.radio.power_level = self._battery_power_level()
-        adv = Advertisement(
+        adv = self._make_advertisement()
+        self.mote.mac.send(adv, adv.wire_bytes())
+        self._adverts_sent += 1
+        self.sim.tracer.emit(
+            "mnp.adv", node=self.node_id, seg=self.offer_seg,
+            req_ctr=self.req_ctr,
+        )
+        self._schedule_adv()
+
+    def _make_advertisement(self):
+        """Build this beat's advertisement: plain, or (security on, with
+        a manifest in hand) signed with a fresh monotonic nonce."""
+        fields = dict(
             source_id=self.node_id,
             program_id=self.program.program_id,
             n_segments=self.program.n_segments,
@@ -475,13 +532,13 @@ class MNPNode:
             image_crc=self.program.image_crc,
             group_id=self.program.group_id,
         )
-        self.mote.mac.send(adv, adv.wire_bytes())
-        self._adverts_sent += 1
-        self.sim.tracer.emit(
-            "mnp.adv", node=self.node_id, seg=self.offer_seg,
-            req_ctr=self.req_ctr,
-        )
-        self._schedule_adv()
+        if self.security is not None and self.manifest is not None:
+            self._adv_nonce += 1
+            adv = SignedAdvertisement(
+                nonce=self._adv_nonce, manifest=self.manifest, **fields
+            )
+            return adv.sign(self.security.key)
+        return Advertisement(**fields)
 
     def _maybe_nap_until_next_adv(self):
         """The post-advertisement listen window expired with no demand:
@@ -779,8 +836,65 @@ class MNPNode:
         missing.clear(msg.packet_id)
         return True
 
+    def _verify_segment(self, seg_id):
+        """Security-on digest check for a just-completed segment, run
+        *before* the segment is accepted (``rvd_seg`` advance).  On a
+        mismatch the staged packets are quarantined and the node fails
+        into a clean re-request; returns False in that case."""
+        if self.security is None or self.manifest is None:
+            return True
+        n = self.program.n_packets(seg_id)
+        try:
+            packets = [
+                self.mote.eeprom.read(self._flash_key(seg_id, pid))
+                for pid in range(n)
+            ]
+        except KeyError:
+            packets = None
+        if packets is not None \
+                and self.manifest.verify_segment(seg_id, packets):
+            return True
+        self._quarantine_segment(seg_id)
+        return False
+
+    def _quarantine_segment(self, seg_id):
+        """Discard a tampered segment: staged EEPROM bytes and the loss
+        tracker both go, so the next advertisement round re-requests the
+        whole segment instead of re-verifying the same bad bytes."""
+        self.quarantines += 1
+        n = self.program.n_packets(seg_id)
+        self.mote.eeprom.discard(
+            self._flash_key(seg_id, pid) for pid in range(n)
+        )
+        self._seg_missing.pop(seg_id, None)
+        self.sim.tracer.emit(
+            "auth.quarantine", node=self.node_id, seg=seg_id,
+        )
+        self._fail("segment digest mismatch")
+
+    def _quarantine_image(self):
+        """Discard the whole staged image after a bootloader signature or
+        digest rejection; dissemination restarts from segment one."""
+        if self.program is None:
+            return
+        self.quarantines += 1
+        keys = [
+            self._flash_key(seg_id, pid)
+            for seg_id in range(1, self.program.n_segments + 1)
+            for pid in range(self.program.n_packets(seg_id))
+        ]
+        self.mote.eeprom.discard(keys)
+        self._seg_missing.clear()
+        self.rvd_seg = 0
+        self.got_code_time = None
+        self.sim.tracer.emit(
+            "auth.quarantine", node=self.node_id, seg=0,
+        )
+
     def _complete_segment(self):
         seg_id = self.download_seg
+        if not self._verify_segment(seg_id):
+            return
         self.rvd_seg = seg_id
         self._fail_streak = 0
         self.sim.tracer.emit(
@@ -906,6 +1020,11 @@ class MNPNode:
                 adv.last_seg_packets, image_crc=adv.image_crc,
                 group_id=adv.group_id,
             )
+            if self.security is not None:
+                # Authenticated in _authenticate_adv before we got here;
+                # the manifest is what segment and install checks verify
+                # against (and what we re-advertise downstream).
+                self.manifest = adv.manifest
             self.rvd_seg = 0
             self._seg_missing.clear()
             self.got_code_time = None
@@ -934,7 +1053,35 @@ class MNPNode:
             and adv.high_seg_id > self.rvd_seg
         )
 
+    def _authenticate_adv(self, adv):
+        """Security-on advertisement admission: drop unsigned frames,
+        bad signatures/tags, replayed nonces, and version rollbacks
+        (any version at or below what the bootloader is running).
+        Returns True when the advertisement may be processed."""
+        if self.security is None:
+            return True
+        if not isinstance(adv, SignedAdvertisement):
+            return self._reject_adv(adv, "unsigned")
+        if not adv.verify(self.security.key):
+            return self._reject_adv(adv, "bad-signature")
+        if adv.nonce <= self._nonce_seen.get(adv.source_id, 0):
+            return self._reject_adv(adv, "replay")
+        if adv.program_id <= self.mote.bootloader.running_program_id:
+            return self._reject_adv(adv, "rollback")
+        self._nonce_seen[adv.source_id] = adv.nonce
+        return True
+
+    def _reject_adv(self, adv, reason):
+        self.auth_rejects += 1
+        self.sim.tracer.emit(
+            "auth.reject", node=self.node_id, source=adv.source_id,
+            version=adv.program_id, reason=reason,
+        )
+        return False
+
     def _handle_advertisement(self, adv):
+        if not self._authenticate_adv(adv):
+            return
         if self.state in (MNPState.DOWNLOAD, MNPState.UPDATE,
                           MNPState.FORWARD, MNPState.QUERY):
             return
@@ -952,12 +1099,16 @@ class MNPNode:
         if self.state == MNPState.ADVERTISE and self.config.sender_selection:
             if loses_to(self.req_ctr, self.node_id, adv.req_ctr,
                         adv.source_id):
-                self._enter_sleep("lost to advertisement")
+                self._concede_advertisement(adv)
             elif self.config.pipelining and preempted_by_lower_segment(
                 self.offer_seg, adv.offer_seg_id, adv.req_ctr,
                 self.config.lower_seg_min_requests,
             ):
                 self._enter_sleep("lower segment has demand")
+
+    def _concede_advertisement(self, adv):
+        """Lost Fig. 2(b) sender selection to ``adv``: concede and sleep."""
+        self._enter_sleep("lost to advertisement")
 
     def _send_download_request(self):
         """Fire the jittered download request (requester task of Fig. 3)."""
@@ -1115,6 +1266,7 @@ class MNPNode:
 
     _HANDLERS = {
         Advertisement: _handle_advertisement,
+        SignedAdvertisement: _handle_advertisement,
         DownloadRequest: _handle_download_request,
         StartDownload: _handle_start_download,
         DataPacket: _handle_data,

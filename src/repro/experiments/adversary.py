@@ -1,0 +1,238 @@
+"""Adversarial dissemination: the secure OTA pipeline under attack.
+
+One adversary run = one :class:`~repro.experiments.common.Deployment`
+(secured by default, deliberately unsecured on request) + an adversarial
+:class:`~repro.faults.FaultPlan` (forged advertisements, replayed
+manifests, payload tampering, segment swaps) + an
+:class:`~repro.faults.InvariantWatchdog` configured with the legitimate
+image's SHA-256 digest and version.  After dissemination settles, the
+external start signal drives every staged image through the bootloader,
+so the run reports the question the secure pipeline exists to answer:
+*did any node install a tampered or rolled-back image?*
+
+The secured/unsecured pairing is the experiment's point: an unsecured
+network under ``tamper`` completes with corrupt flash and gets stuck at
+the install CRC check (no recovery), while the secured network
+quarantines the tampered segment on arrival, re-requests a clean copy,
+and installs everywhere with zero ``authentic-install`` violations.
+
+Registered with the parallel runner as ``experiment="adversary"``, so
+attack sweeps (attack class x protocol) are cached and parallel like
+every other experiment.
+"""
+
+import hashlib
+
+from repro.core.auth import SecurityConfig
+from repro.core.config import MNPConfig
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.faults import FaultController, FaultPlan, InvariantWatchdog
+from repro.net.loss_models import EmpiricalLossModel
+from repro.net.topology import Topology
+from repro.radio.propagation import PropagationModel
+from repro.sim.kernel import MINUTE, SECOND
+
+RANGE_FT = 25.0
+
+#: Attack classes the CLI sweep exercises; each maps intensity in [0, 1]
+#: to a concrete plan (see :func:`attack_plan`).
+ADVERSARY_CLASSES = ("forge", "replay", "tamper", "swap", "blended")
+
+
+def attack_plan(attack_class, intensity=0.5):
+    """A canonical adversarial plan for one attack class.
+
+    ``intensity`` scales how aggressively the attacker rewrites traffic;
+    0 produces an empty plan for any class.  ``blended`` runs all four
+    attacks at once at half strength.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise ValueError("intensity must be in [0,1]")
+    plan = FaultPlan(salt="adversary-" + attack_class)
+    if intensity == 0.0:
+        return plan
+    if attack_class == "forge":
+        plan.forged_advertisements(probability=0.6 * intensity)
+    elif attack_class == "replay":
+        plan.replayed_manifest(probability=0.6 * intensity)
+    elif attack_class == "tamper":
+        plan.payload_tampering(probability=0.12 * intensity)
+    elif attack_class == "swap":
+        plan.segment_swap(probability=0.12 * intensity)
+    elif attack_class == "blended":
+        plan.forged_advertisements(probability=0.3 * intensity)
+        plan.replayed_manifest(probability=0.3 * intensity)
+        plan.payload_tampering(probability=0.06 * intensity)
+        plan.segment_swap(probability=0.06 * intensity)
+    else:
+        raise ValueError(
+            f"unknown adversary class {attack_class!r}; "
+            f"known: {ADVERSARY_CLASSES}"
+        )
+    return plan
+
+
+class AdversaryOutcome:
+    """Everything one adversary run reports (see :meth:`to_dict`)."""
+
+    def __init__(self, deployment, controller, verdict, installs,
+                 deadline_hit, secured):
+        self.deployment = deployment
+        self.controller = controller
+        self.verdict = verdict
+        self.installs = installs
+        self.deadline_hit = deadline_hit
+        self.secured = secured
+        sim = deployment.sim
+        nodes = deployment.nodes
+        motes = deployment.motes
+        self.alive = [n for n in nodes if motes[n].alive]
+        self.complete = [n for n in self.alive if nodes[n].has_full_image]
+        self.survivor_coverage = (
+            len(self.complete) / len(self.alive) if self.alive else 0.0
+        )
+        times = [
+            nodes[n].got_code_time for n in self.complete
+            if nodes[n].got_code_time
+        ]
+        self.completion_s = (
+            max(times) / SECOND
+            if times and len(self.complete) == len(self.alive) else None
+        )
+        self.auth_rejects = sum(
+            getattr(n, "auth_rejects", 0) for n in nodes.values()
+        )
+        self.quarantines = sum(
+            getattr(n, "quarantines", 0) for n in nodes.values()
+        )
+        self.tampered_installs = sum(
+            1 for v in verdict["violations"]
+            if v["invariant"] == "authentic-install"
+        )
+        expected = deployment.image.to_bytes()
+        self.corrupt_images = sum(
+            1 for n in self.complete
+            if hasattr(nodes[n], "assemble_image")
+            and nodes[n].assemble_image() != expected
+        )
+        self.messages = sum(deployment.collector.tx_by_node.values())
+        self.collisions = deployment.collector.collisions
+        self.elapsed_s = sim.now / SECOND
+
+    def to_dict(self):
+        """JSON-ready outcome manifest (deterministic for a given
+        ``(seed, plan, secured)``; the CI secure-smoke job diffs runs)."""
+        return {
+            "secured": self.secured,
+            "survivors_total": len(self.alive),
+            "survivors_complete": len(self.complete),
+            "survivor_coverage": self.survivor_coverage,
+            "completion_s": self.completion_s,
+            "deadline_hit": self.deadline_hit,
+            "auth_rejects": self.auth_rejects,
+            "quarantines": self.quarantines,
+            "installs": dict(self.installs),
+            "tampered_installs": self.tampered_installs,
+            "corrupt_images": self.corrupt_images,
+            "images_intact": self.corrupt_images == 0,
+            "messages_sent": self.messages,
+            "collisions": self.collisions,
+            "elapsed_s": self.elapsed_s,
+            "faults": self.controller.summary(),
+            "watchdog_ok": self.verdict["ok"],
+            "watchdog": self.verdict,
+        }
+
+
+def run_adversary(plan, rows=6, cols=6, protocol="mnp", n_segments=2,
+                  segment_packets=32, seed=0, deadline_min=240,
+                  config=None, secured=True, stall_ms=10 * MINUTE):
+    """One dissemination run under the given adversarial plan.
+
+    The run ends when every alive node holds the (verified) full image,
+    or at the deadline; then every staged image is pushed through the
+    bootloader and the watchdog's authentic-install audit closes the
+    books.  Returns an :class:`AdversaryOutcome`.
+    """
+    if isinstance(plan, dict):
+        plan = FaultPlan.from_dict(plan)
+    topo = Topology.grid(rows, cols, 10.0)
+    image = CodeImage.random(1, n_segments=n_segments,
+                             segment_packets=segment_packets, seed=seed)
+    protocol_config = None
+    if protocol in ("mnp", "coded_mnp"):
+        protocol_config = (
+            MNPConfig(**config) if isinstance(config, dict)
+            else config or MNPConfig(query_update=True,
+                                     fail_backoff_base_ms=250.0)
+        )
+    security = SecurityConfig(enabled=True) if secured else None
+    dep = Deployment(
+        topo, image=image, protocol=protocol,
+        protocol_config=protocol_config, seed=seed,
+        propagation=PropagationModel(RANGE_FT, 3.0),
+        loss_model=EmpiricalLossModel(seed=seed),
+        security=security,
+    )
+    controller = FaultController(dep, plan)
+    controller.install()
+    power = dep.mote_config.power_level
+    watchdog = InvariantWatchdog(
+        dep.sim, n_nodes=len(dep.nodes),
+        neighbors_fn=lambda nid: dep.channel.neighbors(nid, power),
+        stall_ms=stall_ms,
+        expected_digest=hashlib.sha256(image.to_bytes()).hexdigest(),
+        expected_version=image.program_id,
+    )
+    dep.start()
+
+    def settled():
+        if dep.sim.now < controller.last_fault_ms:
+            return False
+        nodes, motes = dep.nodes, dep.motes
+        return all(
+            nodes[n].has_full_image
+            for n in nodes if motes[n].alive
+        )
+
+    done = dep.sim.run_until(settled, check_every=SECOND,
+                             deadline=deadline_min * MINUTE)
+    installs = dep.install_all()
+    verdict = watchdog.finish(motes=dep.motes)
+    watchdog.detach()
+    return AdversaryOutcome(dep, controller, verdict, installs,
+                            deadline_hit=not done, secured=secured)
+
+
+def adversary_experiment(spec):
+    """Runner executor (``experiment="adversary"``).
+
+    Overrides: ``plan`` (a :meth:`FaultPlan.to_dict` dict -- required
+    unless ``attack_class`` is given), ``attack_class`` + ``intensity``
+    (build an :func:`attack_plan`), ``secured`` (default True), ``rows``,
+    ``cols``, ``n_segments``, ``segment_packets``, ``deadline_min``,
+    ``config`` (MNPConfig kwargs).
+    """
+    ov = spec.overrides
+    if "plan" in ov:
+        plan = FaultPlan.from_dict(ov["plan"])
+    elif "attack_class" in ov:
+        plan = attack_plan(ov["attack_class"], ov.get("intensity", 0.5))
+    else:
+        plan = FaultPlan()
+    outcome = run_adversary(
+        plan, rows=ov.get("rows", 6), cols=ov.get("cols", 6),
+        protocol=spec.protocol,
+        n_segments=ov.get("n_segments", 2),
+        segment_packets=ov.get("segment_packets", 32),
+        seed=spec.seed,
+        deadline_min=ov.get("deadline_min", 240),
+        config=ov.get("config"),
+        secured=ov.get("secured", True),
+    )
+    metrics = outcome.to_dict()
+    metrics["seed"] = spec.seed
+    metrics["protocol"] = spec.protocol
+    metrics["attack_class"] = ov.get("attack_class")
+    return metrics

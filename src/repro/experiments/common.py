@@ -248,6 +248,12 @@ class Deployment:
         full topology but only its own motes).  ``base_id`` may then
         name a node outside the subset, in which case no local node
         holds the image.
+    security:
+        Optional :class:`repro.core.auth.SecurityConfig`.  When enabled,
+        every node is armed with the secure OTA pipeline: the MNP family
+        signs/verifies advertisements over the air, while baselines get
+        the signed manifest pre-provisioned (their wire formats carry no
+        signatures).  ``None`` (default) installs nothing at all.
     """
 
     def __init__(
@@ -263,6 +269,7 @@ class Deployment:
         seed=0,
         groups_by_node=None,
         node_ids=None,
+        security=None,
     ):
         self.topology = topology
         self.image = image or CodeImage.random(program_id=1, n_segments=2,
@@ -304,6 +311,41 @@ class Deployment:
             if groups_by_node is not None and hasattr(node, "groups"):
                 node.groups = frozenset(groups_by_node.get(node_id, ()))
             self.nodes[node_id] = node
+        self.security = security
+        if security is not None and security.enabled:
+            self._arm_security(security)
+
+    def _arm_security(self, security):
+        from repro.core.auth import ImageManifest
+
+        manifest = ImageManifest.of_image(self.image, security.key)
+        for node in self.nodes.values():
+            if not hasattr(node, "configure_security"):
+                continue
+            if isinstance(node, MNPNode):
+                # The MNP family learns the manifest over the air from
+                # verified signed advertisements (bases sign their own).
+                node.configure_security(security)
+            else:
+                node.configure_security(security, manifest=manifest)
+
+    def install_all(self):
+        """Drive the external start signal (§3.5) on every alive node
+        holding a full image; returns ``{"installed": n, "rejected": n}``
+        (nodes whose bootloader refused the staged image)."""
+        installed = rejected = 0
+        for node_id in sorted(self.nodes):
+            if not self.motes[node_id].alive:
+                continue
+            node = self.nodes[node_id]
+            if not node.has_full_image \
+                    or not hasattr(node, "install_signal"):
+                continue
+            if node.install_signal():
+                installed += 1
+            else:
+                rejected += 1
+        return {"installed": installed, "rejected": rejected}
 
     def inject_outages(self, outages, nodes=None):
         """Wrap the channel's loss model with blackout windows (weather

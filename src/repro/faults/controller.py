@@ -15,8 +15,9 @@ decode hook.  Three properties are load-bearing:
   bit-identical with the fault subsystem imported and armed.
 * **Observability** -- every injected fault is published on the tracer
   (``fault.crash`` / ``fault.restart`` / ``fault.brownout`` /
-  ``fault.eeprom`` / ``fault.decode``) so the invariant watchdog and the
-  chaos report see exactly what was done to the network.
+  ``fault.eeprom`` / ``fault.decode`` / ``fault.adversary``) so the
+  invariant watchdog and the chaos report see exactly what was done to
+  the network.
 """
 
 import copy
@@ -124,6 +125,11 @@ class FaultController:
             elif kind == "partition":
                 self._install_partition(spec)
             elif kind == "decode":
+                decode_specs.append((index, spec))
+                self._note_bound(spec["end_ms"])
+            elif kind == "adversary":
+                # Adversarial message rewriting rides the same (single)
+                # channel decode hook as decode corruption.
                 decode_specs.append((index, spec))
                 self._note_bound(spec["end_ms"])
             else:
@@ -277,14 +283,20 @@ class FaultController:
         if channel.decode_hook is not None:
             raise RuntimeError("channel already has a decode hook")
         armed = [
-            (spec, self._rng(index, "decode"))
+            (spec, self._rng(index, "decode"), {"captured": []})
             for index, spec in decode_specs
         ]
 
         def hook(frame, dst):
             now = self.sim.now
-            for spec, rng in armed:
+            for spec, rng, state in armed:
                 if not _in_window(spec["start_ms"], spec["end_ms"], now):
+                    continue
+                if spec["kind"] == "adversary":
+                    attacked = self._attack_frame(spec, rng, state, frame,
+                                                  dst)
+                    if attacked is not frame:
+                        return attacked
                     continue
                 if rng.random() >= spec["probability"]:
                     continue
@@ -308,6 +320,85 @@ class FaultController:
             return frame
 
         channel.decode_hook = hook
+
+    # ------------------------------------------------------------------
+    # Adversarial message rewriting (secure-OTA attack surface)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_version_bearer(msg):
+        """Advertisement-like control traffic: carries a program version
+        and a source but no data bytes (MNP advertisements -- signed or
+        not -- and Deluge summaries)."""
+        return (
+            hasattr(msg, "program_id")
+            and hasattr(msg, "source_id")
+            and not hasattr(msg, "payload")
+        )
+
+    def _attack_frame(self, spec, rng, state, frame, dst):
+        """Apply one adversary spec to a frame in flight.
+
+        Returns ``frame`` untouched when the spec does not fire (wrong
+        message type, or the probability draw misses) and a rewritten
+        clone otherwise.  All attacks preserve link-layer validity: the
+        rewritten frame *decodes* fine -- only the authentication layer
+        (or nothing, in an unsecured run) can tell it was touched."""
+        msg = frame.payload
+        attack = spec["attack"]
+        if attack == "forge_adv":
+            if not self._is_version_bearer(msg):
+                return frame
+            if rng.random() >= spec["probability"]:
+                return frame
+            bad = copy.copy(msg)
+            bad.program_id = msg.program_id + spec["version_bump"]
+            if hasattr(bad, "tag"):
+                # The attacker holds no key: the tag cannot be right.
+                bad.tag = bytes(len(bad.tag))
+            manifest = getattr(msg, "manifest", None)
+            if manifest is not None:
+                bad.manifest = copy.copy(manifest)
+                bad.manifest.program_id = bad.program_id
+        elif attack == "replay_adv":
+            if not self._is_version_bearer(msg):
+                return frame
+            replayed = None
+            if state["captured"] and rng.random() < spec["probability"]:
+                replayed = state["captured"][0]
+            if len(state["captured"]) < 4:
+                captured = copy.copy(msg)
+                if getattr(msg, "manifest", None) is not None:
+                    captured.manifest = copy.copy(msg.manifest)
+                state["captured"].append(captured)
+            if replayed is None:
+                return frame
+            bad = copy.copy(replayed)
+        elif attack == "tamper_payload":
+            data = getattr(msg, "payload", None)
+            if not isinstance(data, (bytes, bytearray)) or not data:
+                return frame
+            if rng.random() >= spec["probability"]:
+                return frame
+            bad = copy.copy(msg)
+            bad.payload = _flip_bits(bytes(data), spec["flips"], rng)
+        elif attack == "swap_segments":
+            if not hasattr(msg, "packet_id") \
+                    or getattr(msg, "payload", None) is None:
+                return frame
+            if rng.random() >= spec["probability"]:
+                return frame
+            bad = copy.copy(msg)
+            # Re-address to the sibling packet slot: every byte is
+            # authentic, the assembled segment is not.
+            bad.packet_id = msg.packet_id ^ 1
+        else:
+            raise ValueError(f"unknown adversary attack {attack!r}")
+        self.counts["adversary_" + attack] += 1
+        self.sim.tracer.emit(
+            "fault.adversary", node=dst, attack=attack,
+            kind=type(msg).__name__,
+        )
+        return frame.clone_with_payload(bad)
 
     @staticmethod
     def _corrupt_message(msg, rng):

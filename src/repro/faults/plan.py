@@ -217,6 +217,77 @@ class FaultPlan:
         })
         return self
 
+    # -- adversarial faults (secure-OTA attack surface) ----------------
+    def forged_advertisements(self, probability, version_bump=1,
+                              start_ms=0.0, end_ms=None):
+        """An in-range attacker rewrites overheard advertisements (or
+        Deluge summaries) to claim a "newer" program version it cannot
+        sign.  Unsecured nodes chase the phantom version; secured nodes
+        reject the bad signature / unpinned version and keep going."""
+        _probability(probability, "probability")
+        if version_bump < 1:
+            raise ValueError("version_bump must be >= 1")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "adversary",
+            "attack": "forge_adv",
+            "probability": float(probability),
+            "version_bump": int(version_bump),
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
+    def payload_tampering(self, probability, flips=1, start_ms=0.0,
+                          end_ms=None):
+        """Data-packet payload bytes are flipped in flight *after* the
+        link-layer CRC is (re)computed, so the frame arrives looking
+        valid; only the manifest's per-segment hash chain catches it."""
+        _probability(probability, "probability")
+        if flips < 1:
+            raise ValueError("flips must be >= 1")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "adversary",
+            "attack": "tamper_payload",
+            "probability": float(probability),
+            "flips": int(flips),
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
+    def replayed_manifest(self, probability, start_ms=0.0, end_ms=None):
+        """A captured signed advertisement (manifest and all) is replayed
+        verbatim later.  The signature is genuine, so only nonce
+        freshness / version rollback refusal stops the receiver from
+        re-adopting a stale image."""
+        _probability(probability, "probability")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "adversary",
+            "attack": "replay_adv",
+            "probability": float(probability),
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
+    def segment_swap(self, probability, start_ms=0.0, end_ms=None):
+        """Individually valid data packets are re-addressed to a sibling
+        packet slot, assembling a shuffled image out of authentic pieces;
+        per-packet CRCs cannot see it, the hash chain can."""
+        _probability(probability, "probability")
+        start_ms, end_ms = _window(start_ms, end_ms)
+        self.specs.append({
+            "kind": "adversary",
+            "attack": "swap_segments",
+            "probability": float(probability),
+            "start_ms": start_ms,
+            "end_ms": end_ms,
+        })
+        return self
+
     # -- serialisation -------------------------------------------------
     def to_dict(self):
         """JSON-ready representation (rides in RunSpec overrides)."""

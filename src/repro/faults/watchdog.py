@@ -34,6 +34,12 @@ Invariants checked:
   protocol activity while coverage is below 100% is recorded as a stall
   (kept separate from violations: a stall under faults is an *outcome*,
   in a clean run a *bug*).
+* **Authentic install** -- a tampered or rolled-back image is never
+  installed or booted: per-node installed versions are strictly
+  monotonic, and when ``expected_digest`` / ``expected_version`` are
+  configured every ``boot.install`` must carry exactly that image
+  digest and program version.  Rejections (``boot.reject``) are the
+  defence working and never violations.
 """
 
 from repro.core.states import MNPState, is_allowed
@@ -46,6 +52,7 @@ WATCHED = (
     "mnp.parent", "mnp.got_segment", "mnp.fail",
     "timer.fire", "timer.suppressed",
     "fault.crash", "fault.restart", "fault.brownout",
+    "boot.install", "boot.reject", "auth.reject", "auth.quarantine",
 )
 
 _STREAMING = (MNPState.FORWARD, MNPState.QUERY)
@@ -78,14 +85,25 @@ class InvariantWatchdog:
     stall_ms:
         Liveness threshold: a longer gap with no protocol activity while
         coverage < 100% is a stall (default 10 virtual minutes).
+    expected_digest:
+        SHA-256 hex digest of the one legitimate image; when set, any
+        ``boot.install`` carrying a different digest is an
+        ``authentic-install`` violation (a tampered image booted).
+    expected_version:
+        The one legitimate program id; when set, booting any other
+        version is an ``authentic-install`` violation.
     """
 
     def __init__(self, sim, n_nodes=None, neighbors_fn=None,
-                 stall_ms=10 * MINUTE):
+                 stall_ms=10 * MINUTE, expected_digest=None,
+                 expected_version=None):
         self.sim = sim
         self.n_nodes = n_nodes
         self.neighbors_fn = neighbors_fn
         self.stall_ms = stall_ms
+        self.expected_digest = expected_digest
+        self.expected_version = expected_version
+        self._installed_versions = {}  # node -> highest installed version
         self.violations = []
         self.warnings = []
         self.stalls = []
@@ -160,6 +178,9 @@ class InvariantWatchdog:
                 if rec.node in self._streaming:
                     # Back on the air mid-stream: re-check exclusivity.
                     self._check_concurrent(rec.node)
+        elif category == "boot.install":
+            self._check_dead(rec.node, category)
+            self._on_install(rec)
         elif category == "timer.suppressed":
             pass  # the alive-guard working as intended
         else:
@@ -205,6 +226,33 @@ class InvariantWatchdog:
             self._streaming.add(node)
         elif was_streaming and not streaming:
             self._streaming.discard(node)
+
+    def _on_install(self, rec):
+        """Authentic-install audit on a successful ``boot.install``."""
+        node, version = rec.node, rec.version
+        prev = self._installed_versions.get(node)
+        if prev is not None and version <= prev:
+            self._violate(
+                "authentic-install",
+                f"node {node} installed version {version} after already "
+                f"running version {prev} (rollback)", node=node,
+            )
+        self._installed_versions[node] = version if prev is None \
+            else max(version, prev)
+        if self.expected_version is not None \
+                and version != self.expected_version:
+            self._violate(
+                "authentic-install",
+                f"node {node} booted version {version}, expected "
+                f"{self.expected_version}", node=node,
+            )
+        if self.expected_digest is not None \
+                and rec.fields.get("digest") != self.expected_digest:
+            self._violate(
+                "authentic-install",
+                f"node {node} booted an image whose digest does not match "
+                f"the disseminated image", node=node,
+            )
 
     def _check_concurrent(self, node):
         if self.neighbors_fn is None:

@@ -11,7 +11,17 @@ two safety behaviours any real deployment layer needs around that:
 * **golden image** -- a factory program that the mote can always fall
   back to if an install is rejected, so a failed reprogramming attempt
   never bricks the node.
+
+With the secure OTA pipeline (:mod:`repro.core.auth`) an install may
+additionally present a signed :class:`~repro.core.auth.ImageManifest`
+and the network key: the bootloader then demands a valid signature and
+a matching SHA-256 image digest before booting, on top of the version
+and CRC rules.  Every decision -- accept or reject, and why -- is
+emitted as a ``boot.install`` / ``boot.reject`` tracer event so the
+invariant watchdog and chaos reports can audit install behaviour.
 """
+
+import hashlib
 
 from repro.core.crc import crc16_ccitt
 
@@ -20,37 +30,72 @@ class InstallResult:
     OK = "ok"
     CRC_MISMATCH = "crc-mismatch"
     NOT_NEWER = "not-newer"
+    BAD_SIGNATURE = "bad-signature"
+    DIGEST_MISMATCH = "digest-mismatch"
 
 
 class Bootloader:
-    """Per-mote install state."""
+    """Per-mote install state.
 
-    def __init__(self, golden_program_id=0):
+    ``sim``/``node_id`` are optional: with a simulation attached the
+    bootloader traces its decisions (``boot.install`` on success,
+    ``boot.reject`` with a reason otherwise); without one it behaves as
+    the plain state machine the unit tests drive directly.
+    """
+
+    def __init__(self, golden_program_id=0, sim=None, node_id=None):
         self.golden_program_id = golden_program_id
         self.running_program_id = golden_program_id
         self.install_count = 0
         self.rejected_count = 0
         self.last_result = None
+        self.sim = sim
+        self.node_id = node_id
 
-    def install(self, program_id, image_bytes, expected_crc=None):
+    def _reject(self, result, program_id):
+        self.last_result = result
+        self.rejected_count += 1
+        if self.sim is not None:
+            self.sim.tracer.emit(
+                "boot.reject", node=self.node_id, result=result,
+                version=program_id, running=self.running_program_id,
+            )
+        return result
+
+    def install(self, program_id, image_bytes, expected_crc=None,
+                manifest=None, key=None):
         """Attempt to boot into a staged image.
 
         Returns an :class:`InstallResult` value; on success the mote runs
         the new program.  A stale or equal version is rejected (reboot
-        storms must not downgrade the network).
+        storms must not downgrade the network).  When ``manifest`` and
+        ``key`` are given, the manifest signature and the whole-image
+        SHA-256 digest must also check out (the secure pipeline's
+        last-line defence against tampered or forged images).
         """
         if program_id <= self.running_program_id:
-            self.last_result = InstallResult.NOT_NEWER
-            self.rejected_count += 1
-            return self.last_result
+            return self._reject(InstallResult.NOT_NEWER, program_id)
         if expected_crc is not None and \
                 crc16_ccitt(image_bytes) != expected_crc:
-            self.last_result = InstallResult.CRC_MISMATCH
-            self.rejected_count += 1
-            return self.last_result
+            return self._reject(InstallResult.CRC_MISMATCH, program_id)
+        if manifest is not None and key is not None:
+            if not manifest.verify(key) \
+                    or manifest.program_id != program_id:
+                return self._reject(InstallResult.BAD_SIGNATURE, program_id)
+            if not manifest.verify_image(image_bytes):
+                return self._reject(
+                    InstallResult.DIGEST_MISMATCH, program_id)
         self.running_program_id = program_id
         self.install_count += 1
         self.last_result = InstallResult.OK
+        if self.sim is not None:
+            # The digest rides the event so the invariant watchdog can
+            # audit that only the expected image ever boots.
+            self.sim.tracer.emit(
+                "boot.install", node=self.node_id, result=InstallResult.OK,
+                version=program_id, verified=manifest is not None,
+                digest=hashlib.sha256(image_bytes).hexdigest(),
+            )
         return self.last_result
 
     def rollback(self):

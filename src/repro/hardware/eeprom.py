@@ -98,6 +98,27 @@ class Eeprom:
     def __contains__(self, key):
         return key in self._store
 
+    def discard(self, keys):
+        """Quarantine: drop the staged data under ``keys`` (missing keys
+        are ignored) and forget their write accounting.
+
+        The secure pipeline calls this when a completed segment or a
+        decoded generation fails its digest check: the tampered bytes
+        must leave the flash so the node re-requests cleanly, and the
+        forthcoming legitimate re-write must not read as a write-once
+        violation -- the quarantined write never became part of the
+        image.  Returns the number of keys actually discarded.
+        """
+        dropped = 0
+        for key in list(keys):
+            if key not in self._store:
+                continue
+            del self._store[key]
+            self.used_bytes -= self._sizes.pop(key)
+            self.write_counts.pop(key, None)
+            dropped += 1
+        return dropped
+
     def erase(self):
         """Release everything (MNP's fail state frees the EEPROM)."""
         self._store.clear()

@@ -60,7 +60,7 @@ class Mote:
                                seed=seed)
         self.eeprom = Eeprom(config.eeprom_bytes)
         self.battery = Battery(config.battery_capacity_nah)
-        self.bootloader = Bootloader()
+        self.bootloader = Bootloader(sim=sim, node_id=node_id)
         self.rng = derive_rng(seed, "mote", node_id)
         self.rebooted_at = None
         # Fault model: a crashed mote is not alive.  Timers created via

@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "density": "repro.experiments.density:density_experiment",
     "power": "repro.experiments.power_sweep:power_experiment",
     "chaos": "repro.experiments.chaos:chaos_experiment",
+    "adversary": "repro.experiments.adversary:adversary_experiment",
     "conformance": "repro.conformance.execute:conformance_experiment",
     "sharded": "repro.experiments.sharded:sharded_experiment",
     "coding": "repro.experiments.coding:coding_experiment",

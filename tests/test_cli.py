@@ -215,3 +215,43 @@ def test_chaos_rejects_unknown_fault_class():
         "chaos", "--fault-classes", "gamma-rays", "--no-cache", "--quiet",
     ])
     assert code == 2
+
+
+def test_adversary_text_table():
+    code, text = run_cli([
+        "adversary", "--grid", "3x3", "--segments", "1",
+        "--segment-packets", "16", "--attacks", "tamper",
+        "--protocols", "mnp", "--no-cache", "--quiet",
+        "--deadline-min", "120",
+    ])
+    assert code == 0
+    assert "Adversary (secured): 3x3 grid" in text
+    assert "tamper" in text and "mnp" in text
+    assert "quarant" in text and "tampered" in text
+
+
+def test_adversary_json_matrix():
+    import json
+
+    code, text = run_cli([
+        "adversary", "--grid", "3x3", "--segments", "1",
+        "--segment-packets", "16", "--attacks", "forge",
+        "--protocols", "mnp", "--no-cache", "--quiet", "--json",
+        "--deadline-min", "120",
+    ])
+    assert code == 0
+    payload = json.loads(text)
+    assert payload["secured"] is True
+    (run,) = payload["runs"]
+    metrics = run["metrics"]
+    assert metrics["tampered_installs"] == 0
+    assert metrics["auth_rejects"] > 0
+    assert metrics["installs"]["installed"] == 9
+    assert not metrics["watchdog"]["violations"]
+
+
+def test_adversary_rejects_unknown_attack_class():
+    code, _ = run_cli([
+        "adversary", "--attacks", "quantum", "--no-cache", "--quiet",
+    ])
+    assert code == 2

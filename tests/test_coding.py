@@ -286,3 +286,26 @@ def test_coded_delivers_under_loss(protocol):
     blob = image.to_bytes()
     for node in deployment.nodes.values():
         assert node.assemble_image() == blob
+
+
+def test_coded_requester_survives_sender_selection_loss():
+    """Regression (found by the adversarial conformance budget): on a
+    quiet line a coded requester would lose Fig. 2(b) sender selection
+    to the very advertisement answering its own request and sleep --
+    radio off -- through the deficit-sized transfer it had solicited.
+    On a loss-free channel the round then replayed verbatim forever
+    (stock rounds stream whole segments that outlast the nap, so only
+    the coded family livelocked)."""
+    from repro.core.config import MNPConfig
+    from repro.radio.propagation import PropagationModel
+
+    topo = Topology.grid(1, 4, 13.4)
+    image = CodeImage.random(program_id=1, n_segments=2,
+                             segment_packets=32, seed=302517)
+    dep = Deployment(topo, image=image, protocol="coded_mnp", seed=302517,
+                     protocol_config=MNPConfig(fail_backoff_base_ms=250.0),
+                     propagation=PropagationModel(25.0, 3.0),
+                     loss_model=PerfectLossModel())
+    result = dep.run_to_completion(deadline_ms=240 * MINUTE)
+    assert result.summary_metrics()["coverage"] == 1.0, \
+        "coded requester starved after conceding sender selection"

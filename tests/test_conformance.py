@@ -299,6 +299,7 @@ def test_oracle_registry_is_complete():
     assert list(ORACLES) == [
         "determinism", "invariants", "content", "delivery",
         "loss-monotonicity", "reseg-invariance", "cross-protocol",
+        "secure-install",
     ]
 
 
