@@ -1,6 +1,6 @@
 # Convenience targets for the MNP reproduction.
 
-.PHONY: install test test-fast conformance adversary bench bench-paper bench-smoke examples figures clean
+.PHONY: install test test-fast conformance adversary service bench bench-paper bench-smoke examples figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,11 @@ conformance:
 # rolled-back image.
 adversary:
 	python -m repro adversary --protocols mnp,coded_mnp --intensity 0.6
+
+# Self-hosted service smoke: a seeded multi-client burst (submit,
+# dedup, execute, fetch) against an in-process server, then drain.
+service:
+	python -m repro loadgen --clients 8 --jobs 32 --seed 7
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the common workflows:
+Eleven commands cover the common workflows:
 
 * ``run``     -- disseminate an image over a grid and print the summary
                  metrics (any protocol);
@@ -29,7 +29,18 @@ Eight commands cover the common workflows:
 * ``conformance`` -- fuzz a budget of generated scenarios against the
                  oracle registry (:mod:`repro.conformance`), shrink any
                  failure to a minimal replayable spec, and exit 1 if a
-                 violation survives.
+                 violation survives;
+* ``serve``   -- run the long-lived dissemination service
+                 (:mod:`repro.service`): an HTTP/JSON control plane that
+                 deduplicates submissions through the content-hash
+                 cache, streams progress events, and drains gracefully
+                 on SIGINT/SIGTERM;
+* ``submit``  -- submit one run/scenario/sweep to a running service,
+                 wait for it, and print the deterministic result;
+* ``loadgen`` -- drive a seeded multi-client burst of duplicate/unique
+                 jobs against a service (or a self-hosted one) and
+                 report latency percentiles, throughput, and the
+                 cache-hit ratio (conventionally ``BENCH_service.json``).
 
 Examples::
 
@@ -42,6 +53,11 @@ Examples::
     python -m repro adversary --attacks tamper,forge --intensity 0.8
     python -m repro profile --grid 20x20 --json
     python -m repro conformance --budget 50 --seed 7 --workers 4
+    python -m repro serve --port 8750 --workers 2
+    python -m repro submit --url 127.0.0.1:8750 --experiment probe --seed 3
+    python -m repro submit --url 127.0.0.1:8750 --seeds 0-4
+    python -m repro loadgen --clients 8 --jobs 32 --seed 7 \
+        --output BENCH_service.json
 """
 
 import argparse
@@ -315,6 +331,97 @@ def _build_parser():
                         help="also write the verdict JSON to PATH")
     conf_p.add_argument("--quiet", action="store_true",
                         help="suppress progress/heartbeat lines")
+
+    srv_p = sub.add_parser(
+        "serve",
+        help="run the long-lived dissemination service (HTTP/JSON)")
+    srv_p.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    srv_p.add_argument("--port", type=int, default=8750,
+                       help="bind port; 0 = ephemeral (default 8750)")
+    srv_p.add_argument("--workers", type=int, default=None,
+                       help="concurrent job executions "
+                            "(default: REPRO_SERVICE_WORKERS or 2)")
+    srv_p.add_argument("--queue", type=int, default=None,
+                       help="admission queue depth before 503s "
+                            "(default: REPRO_SERVICE_QUEUE or 256)")
+    srv_p.add_argument("--timeout-s", type=float, default=None,
+                       dest="timeout_s",
+                       help="per-job wall-clock bound in seconds "
+                            "(default: REPRO_SERVICE_TIMEOUT_S or none)")
+    srv_p.add_argument("--cache-dir", default="benchmarks/cache",
+                       help="manifest directory shared with sweep/chaos "
+                            "(default benchmarks/cache)")
+    srv_p.add_argument("--no-cache", action="store_true",
+                       help="disable the disk cache (dedup still applies)")
+    srv_p.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    sbm_p = sub.add_parser(
+        "submit",
+        help="submit one job to a running service and await the result")
+    sbm_p.add_argument("--url", default="127.0.0.1:8750",
+                       help="service address (default 127.0.0.1:8750)")
+    sbm_p.add_argument("--experiment", default="probe",
+                       help="registered experiment name (default probe)")
+    sbm_p.add_argument("--protocol", default="mnp",
+                       help="protocol under test (default mnp)")
+    sbm_p.add_argument("--scale", default="smoke",
+                       choices=("smoke", "default", "paper"),
+                       help="scale preset (default smoke)")
+    sbm_p.add_argument("--seed", type=int, default=0)
+    sbm_p.add_argument("--seeds", type=_parse_seeds, default=None,
+                       metavar="SPEC",
+                       help="submit a sweep campaign over these seeds "
+                            "instead of one run (e.g. '0-4')")
+    sbm_p.add_argument("--spec-json", default=None, metavar="JSON",
+                       dest="spec_json",
+                       help="raw spec object; overrides the flags above")
+    sbm_p.add_argument("--kind", default="run",
+                       choices=("run", "scenario", "sweep"),
+                       help="submission kind (default run; --seeds "
+                            "implies sweep)")
+    sbm_p.add_argument("--timeout-s", type=float, default=300.0,
+                       dest="timeout_s",
+                       help="seconds to wait for the result (default 300)")
+    sbm_p.add_argument("--no-wait", action="store_true",
+                       help="print the job key and return immediately")
+
+    ldg_p = sub.add_parser(
+        "loadgen",
+        help="seeded multi-client burst against a service; "
+             "records BENCH_service.json-style metrics")
+    ldg_p.add_argument("--url", default=None,
+                       help="target service; omitted = self-host one "
+                            "in-process for the burst")
+    ldg_p.add_argument("--clients", type=int, default=8,
+                       help="concurrent clients (default 8)")
+    ldg_p.add_argument("--jobs", type=int, default=32,
+                       help="total submissions across clients (default 32)")
+    ldg_p.add_argument("--duplicate-fraction", type=float, default=0.5,
+                       dest="duplicate_fraction",
+                       help="fraction of submissions duplicating an "
+                            "earlier payload (default 0.5)")
+    ldg_p.add_argument("--seed", type=int, default=0,
+                       help="payload-mix seed; same seed = same burst")
+    ldg_p.add_argument("--experiment", default="probe",
+                       help="experiment per job (default probe)")
+    ldg_p.add_argument("--protocol", default="mnp",
+                       help="protocol per job (default mnp)")
+    ldg_p.add_argument("--workers", type=int, default=None,
+                       help="self-hosted service worker count")
+    ldg_p.add_argument("--cache-dir", default=None,
+                       help="self-hosted service manifest directory "
+                            "(default: no disk cache)")
+    ldg_p.add_argument("--timeout-s", type=float, default=120.0,
+                       dest="timeout_s",
+                       help="per-job client wait bound (default 120)")
+    ldg_p.add_argument("--output", default=None, metavar="PATH",
+                       help="also write the JSON report to PATH")
+    ldg_p.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    ldg_p.add_argument("--quiet", action="store_true",
+                       help="suppress service progress lines")
     return parser
 
 
@@ -843,6 +950,130 @@ def _cmd_conformance(args, out):
     return 0 if verdict["ok"] else 1
 
 
+def _cmd_serve(args, out):
+    import asyncio
+    import signal
+
+    from repro.service import Service
+
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=sys.stderr, flush=True))
+
+    async def _serve():
+        service = Service(
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            queue_limit=args.queue,
+            job_timeout_s=args.timeout_s,
+            progress=progress,
+        )
+        host, port = await service.start(host=args.host, port=args.port)
+        out.write(f"serving on http://{host}:{port}\n")
+        out.flush()
+        loop = asyncio.get_running_loop()
+        stopping = []
+
+        def _request_stop():
+            if not stopping:        # second signal: already draining
+                stopping.append(True)
+                loop.create_task(service.stop(drain=True))
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await service.serve_forever()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_submit(args, out):
+    import asyncio
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.spec_json:
+        try:
+            spec = json.loads(args.spec_json)
+        except ValueError as exc:
+            sys.stderr.write(f"repro submit: error: bad --spec-json: "
+                             f"{exc}\n")
+            return 2
+    else:
+        spec = {"experiment": args.experiment, "protocol": args.protocol,
+                "scale": args.scale, "seed": args.seed}
+    kind = args.kind
+    if args.seeds is not None:
+        kind = "sweep"
+        spec.pop("seed", None)
+        spec["seeds"] = args.seeds
+
+    async def _go():
+        client = ServiceClient.from_url(args.url)
+        try:
+            submitted = await client.submit(spec, kind=kind)
+            if args.no_wait:
+                out.write(json.dumps(submitted, indent=2, sort_keys=True)
+                          + "\n")
+                return 0
+            record = await client.wait(submitted["job"],
+                                       timeout_s=args.timeout_s)
+            if record["status"] != "done":
+                out.write(json.dumps(record, indent=2, sort_keys=True)
+                          + "\n")
+                return 1
+            result = await client.result(submitted["job"])
+            out.write(json.dumps(result, indent=2, sort_keys=True) + "\n")
+            return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_go())
+    except (ServiceError, ConnectionError, OSError, TimeoutError) as exc:
+        sys.stderr.write(f"repro submit: error: {exc}\n")
+        return 1
+
+
+def _cmd_loadgen(args, out):
+    import asyncio
+    import json
+
+    from repro.service.loadgen import render_report, run_loadgen
+
+    progress = None if args.quiet else \
+        (lambda line: print(line, file=sys.stderr, flush=True))
+    try:
+        report = asyncio.run(run_loadgen(
+            url=args.url,
+            clients=args.clients,
+            jobs=args.jobs,
+            duplicate_fraction=args.duplicate_fraction,
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            experiment=args.experiment,
+            protocol=args.protocol,
+            job_timeout_s=args.timeout_s,
+            progress=progress,
+        ))
+    except (ConnectionError, OSError, TimeoutError, RuntimeError) as exc:
+        sys.stderr.write(f"repro loadgen: error: {exc}\n")
+        return 1
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_report(report) + "\n")
+    return 0
+
+
 _FIGURES = {}
 
 
@@ -995,6 +1226,12 @@ def main(argv=None, out=None):
         return _cmd_profile(args, out)
     if args.command == "conformance":
         return _cmd_conformance(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "submit":
+        return _cmd_submit(args, out)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args, out)
     return 2
 
 

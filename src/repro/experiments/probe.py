@@ -1,0 +1,45 @@
+"""Micro-dissemination probe workload (``experiment="probe"``).
+
+The dissemination service's load generator needs jobs that are *real*
+simulations -- they draw from the channel RNG, disseminate an image, and
+return the standard summary metrics -- but cost well under a second, so
+a burst of hundreds of them exercises the control plane (admission,
+dedup, caching, progress streaming) rather than the simulator.  A probe
+run is a tiny grid dissemination, fully determined by its
+:class:`~repro.runner.RunSpec` like every other experiment.
+
+Overrides: ``rows``/``cols`` (default 2x3), ``spacing_ft`` (default 10),
+``n_segments`` (default 1), ``segment_packets`` (default 8),
+``deadline_min`` (default 60).
+"""
+
+from repro.core.config import MNPConfig
+from repro.core.segments import CodeImage
+from repro.experiments.common import Deployment
+from repro.net.topology import Topology
+from repro.sim.kernel import MINUTE
+
+
+def probe_experiment(spec):
+    """Runner executor for one probe run; returns a JSON-ready dict."""
+    ov = spec.overrides
+    rows = ov.get("rows") or 2
+    cols = ov.get("cols") or 3
+    topo = Topology.grid(rows, cols, ov.get("spacing_ft", 10.0))
+    image = CodeImage.random(
+        1,
+        n_segments=ov.get("n_segments") or 1,
+        segment_packets=ov.get("segment_packets") or 8,
+        seed=spec.seed,
+    )
+    config_kwargs = ov.get("config")
+    config = MNPConfig(**config_kwargs) if config_kwargs else None
+    dep = Deployment(topo, image=image, protocol=spec.protocol,
+                     protocol_config=config, seed=spec.seed)
+    result = dep.run_to_completion(
+        deadline_ms=ov.get("deadline_min", 60) * MINUTE)
+    metrics = result.to_dict()
+    metrics["protocol"] = spec.protocol
+    metrics["seed"] = spec.seed
+    metrics["image_bytes"] = image.size_bytes
+    return metrics

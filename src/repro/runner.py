@@ -28,8 +28,21 @@ Determinism contract: the serial and parallel paths execute the *same*
 experiment function on the *same* spec, so they produce identical metric
 dicts -- this is what makes the cache sound (see
 ``tests/test_runner.py``).
+
+Integrity contract: manifests carry a ``metrics_sha256`` digest over the
+canonical metrics JSON, and :meth:`Runner.load_cached` recomputes it on
+every load -- a truncated, bit-flipped, or hand-edited cache entry is a
+miss (the spec re-executes), never a silently served wrong answer.
+
+Sharing contract: identical specs appearing more than once in a single
+:meth:`Runner.run` batch execute once; every duplicate index subscribes
+to the one execution and receives its own deep copy of the metrics.
+This is what lets multi-tenant callers (the :mod:`repro.service` control
+plane, conformance fan-outs) submit overlapping work without paying for
+it twice.
 """
 
+import copy
 import hashlib
 import importlib
 import json
@@ -55,7 +68,24 @@ EXPERIMENTS = {
     "conformance": "repro.conformance.execute:conformance_experiment",
     "sharded": "repro.experiments.sharded:sharded_experiment",
     "coding": "repro.experiments.coding:coding_experiment",
+    "probe": "repro.experiments.probe:probe_experiment",
 }
+
+
+def metrics_digest(metrics):
+    """SHA-256 over the canonical JSON of a metrics dict.
+
+    Stored in every manifest and recomputed on load, so cache entries
+    whose metrics bytes were damaged after the fact are detected.  The
+    canonical form survives a JSON round-trip (tuples become lists and
+    int keys become strings *before* hashing), so the digest of the
+    freshly computed dict equals the digest of its parsed manifest.
+    """
+    canonical = json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(
+        json.dumps(json.loads(canonical), sort_keys=True,
+                   separators=(",", ":")).encode()
+    ).hexdigest()
 
 
 def register_experiment(name, import_path):
@@ -180,11 +210,14 @@ class RunnerStats:
     def __init__(self):
         self.hits = 0
         self.misses = 0
+        #: duplicate specs within one batch that subscribed to another
+        #: index's execution instead of running themselves
+        self.shared = 0
         self.elapsed_s = 0.0
 
     def __repr__(self):
         return (f"<RunnerStats hits={self.hits} misses={self.misses} "
-                f"elapsed={self.elapsed_s:.1f}s>")
+                f"shared={self.shared} elapsed={self.elapsed_s:.1f}s>")
 
 
 class Runner:
@@ -224,7 +257,16 @@ class Runner:
         return os.path.join(self.cache_dir, f"{spec.cache_key()}.json")
 
     def load_cached(self, spec):
-        """The cached metrics for ``spec``, or None on miss/corruption."""
+        """The cached metrics for ``spec``, or None on miss/corruption.
+
+        A manifest is served only if (a) it parses, (b) its embedded
+        spec matches byte-for-byte (hash collision / stale key), and
+        (c) its ``metrics_sha256`` digest matches the stored metrics --
+        so truncation or bit flips anywhere in the entry downgrade it to
+        a miss and the spec re-executes.  Pre-digest manifests (no
+        ``metrics_sha256`` field) are likewise re-executed rather than
+        trusted.
+        """
         path = self.manifest_path(spec)
         if path is None or not os.path.exists(path):
             return None
@@ -233,9 +275,19 @@ class Runner:
                 manifest = json.load(fh)
         except (OSError, ValueError):
             return None
+        if not isinstance(manifest, dict):
+            return None
         if manifest.get("spec") != spec.to_dict():  # hash collision/stale
             return None
-        return manifest.get("metrics")
+        metrics = manifest.get("metrics")
+        if metrics is None:
+            return None
+        try:
+            if manifest.get("metrics_sha256") != metrics_digest(metrics):
+                return None
+        except (TypeError, ValueError):
+            return None
+        return metrics
 
     def store(self, spec, metrics, elapsed_s):
         """Atomically persist one run's manifest; no-op when uncached."""
@@ -249,6 +301,7 @@ class Runner:
             "spec": spec.to_dict(),
             "elapsed_s": elapsed_s,
             "metrics": metrics,
+            "metrics_sha256": metrics_digest(metrics),
         }
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -278,15 +331,27 @@ class Runner:
         specs = list(specs)
         t0 = time.perf_counter()
         results = [None] * len(specs)
-        pending = []  # (index, spec)
+        pending = []   # (leader index, spec) -- one entry per unique key
+        leaders = {}   # cache key -> leader index
+        fan_in = {}    # leader index -> [duplicate indices]
         for i, spec in enumerate(specs):
             cached = self.load_cached(spec)
             if cached is not None:
                 results[i] = cached
                 self.stats.hits += 1
                 self._say(f"[runner] cache hit  {spec.label()}")
-            else:
-                pending.append((i, spec))
+                continue
+            key = spec.cache_key()
+            if key in leaders:
+                # Identical spec already queued in this batch: subscribe
+                # this index to the leader's execution instead of paying
+                # for a second run.
+                fan_in.setdefault(leaders[key], []).append(i)
+                self.stats.shared += 1
+                self._say(f"[runner] shared     {spec.label()}")
+                continue
+            leaders[key] = i
+            pending.append((i, spec))
         self.stats.misses += len(pending)
         if pending:
             n = len(pending)
@@ -297,6 +362,9 @@ class Runner:
             else:
                 self._say(f"[runner] {n} uncached spec(s), serial")
                 self._run_serial(pending, results)
+        for leader, subscribers in fan_in.items():
+            for i in subscribers:
+                results[i] = copy.deepcopy(results[leader])
         self.stats.elapsed_s += time.perf_counter() - t0
         return results
 

@@ -1,0 +1,35 @@
+"""Dissemination-as-a-service control plane.
+
+MNP itself is pitched as a *service* -- pipelined, multi-tenant
+dissemination with contention-aware admission -- and this package gives
+the reproduction the same shape at the experiment layer: a long-running
+asyncio HTTP/JSON server that accepts :class:`~repro.runner.RunSpec`,
+:class:`~repro.conformance.spec.ScenarioSpec`, and sweep-campaign
+submissions, deduplicates them multi-tenant through the runner's
+content-hash cache (identical submissions from N clients execute once,
+with N subscribers), streams per-job progress events from the simulation
+:class:`~repro.sim.tracing.Tracer`, and serves manifests on completion.
+
+Pieces:
+
+* :mod:`repro.service.jobs` -- the :class:`JobStore`: dedup, lifecycle,
+  progress events, cancellation, drain.
+* :mod:`repro.service.admission` -- bounded worker-pool admission with
+  per-job timeouts.
+* :mod:`repro.service.server` -- the stdlib-asyncio HTTP/1.1 server
+  (``python -m repro serve``).
+* :mod:`repro.service.client` -- the matching asyncio client.
+* :mod:`repro.service.loadgen` -- the deterministic load generator
+  (``python -m repro loadgen``) that records ``BENCH_service.json``.
+
+Everything is pure stdlib (``asyncio`` streams); there is no new
+dependency.
+"""
+
+from repro.service.admission import AdmissionControl
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobStore
+from repro.service.server import Service
+
+__all__ = ["AdmissionControl", "Job", "JobStore", "Service",
+           "ServiceClient"]

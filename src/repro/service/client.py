@@ -1,0 +1,170 @@
+"""Asyncio client for the dissemination service.
+
+One :class:`ServiceClient` holds one keep-alive HTTP/1.1 connection and
+reconnects transparently if the server hangs up (the server closes
+connections after protocol-level errors and on shutdown).  The client is
+deliberately symmetrical with the server: stdlib-only, JSON bodies,
+content-length framing.
+
+Typical round trip::
+
+    client = ServiceClient.from_url("http://127.0.0.1:8750")
+    submitted = await client.submit({"experiment": "probe", "seed": 3})
+    record = await client.wait(submitted["job"])
+    result = await client.result(submitted["job"])
+    await client.close()
+"""
+
+import asyncio
+import json
+from urllib.parse import urlsplit
+
+
+class ServiceError(Exception):
+    """A structured error response from the service."""
+
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        error = self.payload.get("error", "error")
+        detail = self.payload.get("detail")
+        super().__init__(f"HTTP {status}: {error}"
+                         + (f" ({detail})" if detail else ""))
+        self.error = error
+
+
+class ServiceClient:
+    """Minimal asyncio HTTP/JSON client for :class:`~repro.service.Service`."""
+
+    def __init__(self, host="127.0.0.1", port=8750):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+
+    @classmethod
+    def from_url(cls, url):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        return cls(host=parts.hostname or "127.0.0.1",
+                   port=parts.port or 8750)
+
+    # ------------------------------------------------------------------
+    async def _connect(self):
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+
+    async def close(self):
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, method, path, body=None):
+        """One request/response; returns the decoded JSON payload.
+
+        Raises :class:`ServiceError` on any non-200 response.  Retries
+        exactly once on a dead keep-alive connection.
+        """
+        encoded = b""
+        if body is not None:
+            encoded = json.dumps(body, sort_keys=True).encode()
+        for attempt in (1, 2):
+            await self._connect()
+            try:
+                self._writer.write(
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(encoded)}\r\n"
+                    f"\r\n".encode() + encoded
+                )
+                await self._writer.drain()
+                return await self._read_response()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                await self.close()
+                if attempt == 2:
+                    raise
+
+    async def _read_response(self):
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status = int(status_line.split(" ", 2)[1])
+        headers = {}
+        for line in header_lines:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            payload = {"error": "unparseable-response"}
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Convenience endpoints
+    # ------------------------------------------------------------------
+    async def health(self):
+        return await self.request("GET", "/healthz")
+
+    async def stats(self):
+        return await self.request("GET", "/v1/stats")
+
+    async def submit(self, spec, kind="run", **extra):
+        """Submit a job; returns ``{"job", "status", "deduped", "kind"}``."""
+        payload = {"kind": kind, "spec": spec}
+        payload.update(extra)
+        return await self.request("POST", "/v1/jobs", payload)
+
+    async def job(self, key):
+        return await self.request("GET", f"/v1/jobs/{key}")
+
+    async def jobs(self):
+        return await self.request("GET", "/v1/jobs")
+
+    async def events(self, key, since=0, wait=0):
+        path = f"/v1/jobs/{key}/events?since={since}"
+        if wait:
+            path += f"&wait={wait}"
+        return await self.request("GET", path)
+
+    async def cancel(self, key):
+        return await self.request("POST", f"/v1/jobs/{key}/cancel")
+
+    async def result(self, key):
+        return await self.request("GET", f"/v1/jobs/{key}/result")
+
+    async def wait(self, key, timeout_s=120.0):
+        """Event-stream until the job is terminal; returns its summary.
+
+        Uses the long-poll events endpoint rather than busy polling, so
+        a waiting client costs the server one parked request.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        seen = 0
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {key} not terminal within {timeout_s:.1f}s")
+            chunk = await self.events(key, since=seen,
+                                      wait=min(remaining, 10.0))
+            seen += len(chunk["events"])
+            if chunk["status"] in ("done", "failed", "cancelled"):
+                return await self.job(key)
+
+    async def shutdown(self, drain=True):
+        """Ask the service to stop; closes this client's connection."""
+        try:
+            return await self.request("POST", "/v1/shutdown",
+                                      {"drain": drain})
+        finally:
+            await self.close()

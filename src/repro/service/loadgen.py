@@ -1,0 +1,178 @@
+"""Deterministic load generator for the dissemination service.
+
+``python -m repro loadgen`` drives M concurrent clients against a
+service (an external one via ``--url``, or a self-hosted in-process
+server when no URL is given) with a *seeded* mix of duplicate and unique
+jobs: the payload sequence is a pure function of ``(seed, jobs,
+duplicate_fraction)``, so two bursts with the same seed submit the same
+work -- which is exactly what the CI smoke job exploits: the second
+burst must be served almost entirely from the content-hash cache, and
+the result payloads must byte-compare clean across bursts
+(``results_sha256``).
+
+The burst records client-observed submit-to-terminal latency (p50/p90/
+p99/max), throughput (jobs/s), and the service-side cache-hit ratio
+((dedup hits + disk-cache hits) / submissions) into a JSON report,
+conventionally ``BENCH_service.json``.
+"""
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.server import Service
+
+
+def build_payloads(seed, jobs, duplicate_fraction, experiment="probe",
+                   protocol="mnp"):
+    """The deterministic submission mix: ``(payloads, n_unique)``.
+
+    Each unique payload gets a distinct simulation seed derived from the
+    loadgen seed; duplicates are uniform draws over the uniques created
+    so far.  The first job is always unique.
+    """
+    rng = random.Random(seed)
+    payloads, uniques = [], []
+    for _ in range(jobs):
+        if uniques and rng.random() < duplicate_fraction:
+            payloads.append(rng.choice(uniques))
+        else:
+            payload = {
+                "experiment": experiment,
+                "protocol": protocol,
+                "scale": "smoke",
+                "seed": seed * 100000 + len(uniques),
+                "overrides": {},
+            }
+            uniques.append(payload)
+            payloads.append(payload)
+    return payloads, len(uniques)
+
+
+def _percentile(sorted_values, q):
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return None
+    rank = min(len(sorted_values) - 1,
+               max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+async def run_loadgen(url=None, clients=8, jobs=32, duplicate_fraction=0.5,
+                      seed=0, workers=None, cache_dir=None,
+                      experiment="probe", protocol="mnp",
+                      job_timeout_s=120.0, progress=None):
+    """One burst; returns the JSON-ready report dict.
+
+    With ``url=None`` a service is self-hosted in-process (``workers``
+    and ``cache_dir`` configure it) and drained afterwards; with a URL
+    the target service's configuration is whatever it is.
+    """
+    payloads, n_unique = build_payloads(seed, jobs, duplicate_fraction,
+                                        experiment=experiment,
+                                        protocol=protocol)
+    service = None
+    if url is None:
+        service = Service(workers=workers, cache_dir=cache_dir,
+                          progress=progress)
+        host, port = await service.start(port=0)
+    else:
+        parsed = ServiceClient.from_url(url)
+        host, port = parsed.host, parsed.port
+
+    control = ServiceClient(host, port)
+    before = await control.stats()
+
+    latencies_ms = [None] * jobs
+    keys = [None] * jobs
+
+    async def one_client(client_index):
+        client = ServiceClient(host, port)
+        try:
+            for i in range(client_index, jobs, clients):
+                start = time.perf_counter()
+                submitted = await client.submit(payloads[i])
+                record = await client.wait(submitted["job"],
+                                           timeout_s=job_timeout_s)
+                if record["status"] != "done":
+                    raise RuntimeError(
+                        f"job {submitted['job']} ended "
+                        f"{record['status']}: {record.get('error')}")
+                latencies_ms[i] = (time.perf_counter() - start) * 1000.0
+                keys[i] = submitted["job"]
+        finally:
+            await client.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(one_client(c)
+                           for c in range(min(clients, jobs))))
+    wall_s = time.perf_counter() - t0
+    after = await control.stats()
+
+    # Byte-level digest over every distinct job's result payload: two
+    # bursts with the same seed must agree on it exactly.
+    hasher = hashlib.sha256()
+    for key in sorted(set(keys)):
+        result = await control.result(key)
+        hasher.update(key.encode())
+        hasher.update(b"\x00")
+        hasher.update(json.dumps(result, sort_keys=True,
+                                 separators=(",", ":")).encode())
+        hasher.update(b"\x01")
+    results_sha256 = hasher.hexdigest()
+
+    await control.close()
+    if service is not None:
+        await service.stop(drain=True)
+
+    submissions = after["submissions"] - before["submissions"]
+    dedup_hits = after["dedup_hits"] - before["dedup_hits"]
+    cache_hits = after["cache_hits"] - before["cache_hits"]
+    executions = after["executions"] - before["executions"]
+    ordered = sorted(latencies_ms)
+    return {
+        "clients": clients,
+        "jobs": jobs,
+        "duplicate_fraction": duplicate_fraction,
+        "seed": seed,
+        "experiment": experiment,
+        "protocol": protocol,
+        "unique_payloads": n_unique,
+        "wall_s": round(wall_s, 3),
+        "jobs_per_s": round(jobs / wall_s, 3) if wall_s else None,
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 0.50), 3),
+            "p90": round(_percentile(ordered, 0.90), 3),
+            "p99": round(_percentile(ordered, 0.99), 3),
+            "max": round(ordered[-1], 3),
+        },
+        "submissions": submissions,
+        "dedup_hits": dedup_hits,
+        "cache_hits": cache_hits,
+        "executions": executions,
+        "cache_hit_ratio": round((dedup_hits + cache_hits) / submissions, 4)
+        if submissions else None,
+        "results_sha256": results_sha256,
+    }
+
+
+def render_report(report):
+    """Human-readable rendering of one loadgen report."""
+    lat = report["latency_ms"]
+    return (
+        f"loadgen: {report['jobs']} jobs "
+        f"({report['unique_payloads']} unique) across "
+        f"{report['clients']} client(s), seed {report['seed']}\n"
+        f"  throughput:      {report['jobs_per_s']:.2f} jobs/s "
+        f"({report['wall_s']:.2f}s wall)\n"
+        f"  latency ms:      p50 {lat['p50']:.0f}  p90 {lat['p90']:.0f}  "
+        f"p99 {lat['p99']:.0f}  max {lat['max']:.0f}\n"
+        f"  cache-hit ratio: {report['cache_hit_ratio']:.2%} "
+        f"({report['dedup_hits']} dedup + {report['cache_hits']} disk "
+        f"over {report['submissions']} submissions; "
+        f"{report['executions']} executed)\n"
+        f"  results sha256:  {report['results_sha256']}"
+    )

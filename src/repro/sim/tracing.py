@@ -4,7 +4,49 @@ Components emit structured trace records (category + fields); subscribers --
 metric collectors, tests, or a debugging printer -- receive them
 synchronously.  Metrics in the reproduction are built entirely on traces, so
 protocol code never needs to know which figures are being produced.
+
+Thread-local *taps* let a harness observe simulations it does not
+construct: :func:`push_tap` registers a subscriber that every
+:class:`Tracer` created afterwards *in the same thread* attaches at
+construction time.  The dissemination service uses this to stream
+per-job progress events (and to abort cancelled jobs cooperatively: a
+tap may raise, which unwinds the simulation).  With no tap installed the
+hook costs one thread-local read per Tracer construction and nothing per
+emit.
 """
+
+import threading
+
+_TAPS = threading.local()
+
+
+def push_tap(fn, categories=None):
+    """Attach ``fn(record)`` to every Tracer later built in this thread.
+
+    ``categories`` limits delivery exactly like :meth:`Tracer.subscribe`.
+    Taps stack; pop with :func:`pop_tap` (always, in a ``finally``).
+    """
+    stack = getattr(_TAPS, "stack", None)
+    if stack is None:
+        stack = _TAPS.stack = []
+    stack.append((fn, frozenset(categories) if categories is not None
+                  else None))
+    return fn
+
+
+def pop_tap(fn):
+    """Remove the most recent tap registered for ``fn`` in this thread."""
+    stack = getattr(_TAPS, "stack", None) or []
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i][0] is fn:
+            del stack[i]
+            return
+    raise ValueError("tap not installed in this thread")
+
+
+def current_taps():
+    """The ``(fn, categories)`` taps active in this thread (a tuple)."""
+    return tuple(getattr(_TAPS, "stack", ()))
 
 
 class TraceRecord:
@@ -33,7 +75,7 @@ class Tracer:
 
     def __init__(self, sim):
         self._sim = sim
-        self._subscribers = []
+        self._subscribers = list(current_taps())
         # category -> tuple of subscriber fns, in subscription order,
         # built lazily on first emit of each category.  Unwatched
         # categories map to an empty tuple, so emitting them costs one

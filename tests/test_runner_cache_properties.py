@@ -1,0 +1,205 @@
+"""Seeded property tests for the runner's content-hash cache.
+
+The cache key must be a function of the *meaning* of a spec, not of any
+accident of construction: keyword order, dict insertion order, and a
+JSON round-trip must all hash identically, while changing any field must
+not.  And the loader must never trust a damaged manifest: whatever a
+corruptor does to the bytes on disk -- truncation, bit flips, edits to
+the metrics -- ``load_cached`` either returns the original metrics
+unchanged or misses (returns ``None``) and lets the runner re-execute.
+
+All randomness comes from per-test ``random.Random`` instances with
+fixed seeds, so a failure replays exactly (same idiom as
+``test_codec_fuzz.py``).
+"""
+
+import json
+import random
+
+from repro.runner import Runner, RunSpec, metrics_digest
+
+OVERRIDE_KEYS = ("rows", "cols", "n_segments", "segment_packets",
+                 "loss_pct", "deadline_min")
+
+
+def random_spec(rng):
+    overrides = {
+        key: rng.randrange(1, 9)
+        for key in rng.sample(OVERRIDE_KEYS, rng.randrange(len(OVERRIDE_KEYS)))
+    }
+    return RunSpec(
+        experiment=rng.choice(("probe", "grid", "chaos")),
+        protocol=rng.choice(("mnp", "deluge", "xnp")),
+        scale="smoke",
+        seed=rng.randrange(1000),
+        **overrides,
+    )
+
+
+def random_metrics(rng, depth=2):
+    """A random JSON-able metrics-like structure."""
+    out = {}
+    for i in range(rng.randrange(2, 6)):
+        roll = rng.random()
+        if roll < 0.3 and depth > 0:
+            out[f"k{i}"] = random_metrics(rng, depth - 1)
+        elif roll < 0.5:
+            out[f"k{i}"] = [rng.randrange(100) for _ in range(3)]
+        elif roll < 0.7:
+            out[f"k{i}"] = rng.random() * 100
+        elif roll < 0.85:
+            out[f"k{i}"] = rng.choice((True, False, None))
+        else:
+            out[f"k{i}"] = f"v{rng.randrange(100)}"
+    return out
+
+
+# ----------------------------------------------------------------------
+# Key stability
+# ----------------------------------------------------------------------
+def test_cache_key_ignores_construction_order():
+    rng = random.Random(0xCAC4E)
+    for _ in range(50):
+        spec = random_spec(rng)
+        # Same overrides fed in reversed insertion order...
+        shuffled = dict(reversed(list(spec.overrides.items())))
+        twin = RunSpec(experiment=spec.experiment, protocol=spec.protocol,
+                       scale=spec.scale, seed=spec.seed, **shuffled)
+        assert twin.cache_key() == spec.cache_key()
+        # ...and through a full JSON round-trip of the spec dict.
+        rebuilt = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.cache_key() == spec.cache_key()
+        assert rebuilt.to_dict() == spec.to_dict()
+
+
+def test_cache_key_changes_with_any_field():
+    rng = random.Random(0xD1FF)
+    for _ in range(30):
+        spec = random_spec(rng)
+        base = spec.cache_key()
+        d = spec.to_dict()
+        variants = [
+            {**d, "seed": d["seed"] + 1},
+            {**d, "protocol": "flood"},
+            {**d, "scale": "paper"},
+            {**d, "overrides": {**d["overrides"], "rows": 77}},
+        ]
+        for variant in variants:
+            assert RunSpec.from_dict(variant).cache_key() != base
+
+
+def test_metrics_digest_survives_json_round_trip():
+    rng = random.Random(0x516)
+    for _ in range(30):
+        metrics = random_metrics(rng)
+        # Int dict keys are the classic trap: json stringifies them, so
+        # a naive digest of the fresh dict would disagree with a digest
+        # of the parsed manifest.
+        metrics["per_node"] = {i: rng.random() for i in range(5)}
+        round_tripped = json.loads(json.dumps(metrics))
+        assert metrics_digest(metrics) == metrics_digest(round_tripped)
+
+
+# ----------------------------------------------------------------------
+# Corruption: the loader never trusts damaged bytes
+# ----------------------------------------------------------------------
+def _stored(tmp_path, rng, name="c"):
+    runner = Runner(workers=0, cache_dir=str(tmp_path / name))
+    spec = random_spec(rng)
+    metrics = json.loads(json.dumps(random_metrics(rng)))
+    runner.store(spec, metrics, 0.0)
+    path = tmp_path / name / f"{spec.cache_key()}.json"
+    assert path.exists()
+    assert runner.load_cached(spec) == metrics
+    return runner, spec, metrics, path
+
+
+def test_random_corruption_is_never_trusted(tmp_path):
+    """Property: corrupt bytes load as the original metrics or miss."""
+    rng = random.Random(0xBADF00D)
+    for i in range(40):
+        runner, spec, metrics, path = _stored(tmp_path, rng, name=str(i))
+        blob = bytearray(path.read_bytes())
+        if rng.random() < 0.5:
+            # Truncate somewhere strictly inside the manifest.
+            blob = blob[:rng.randrange(len(blob))]
+        else:
+            # Flip one random bit of one random byte.
+            at = rng.randrange(len(blob))
+            blob[at] ^= 1 << rng.randrange(8)
+        path.write_bytes(bytes(blob))
+        loaded = runner.load_cached(spec)
+        assert loaded is None or loaded == metrics
+
+
+def test_bit_flip_inside_metrics_is_a_miss(tmp_path):
+    rng = random.Random(0xF11)
+    runner, spec, metrics, path = _stored(tmp_path, rng)
+    manifest = json.loads(path.read_text())
+    manifest["metrics"]["k0"] = "tampered"
+    path.write_text(json.dumps(manifest))
+    assert runner.load_cached(spec) is None
+
+
+def test_missing_or_wrong_digest_is_a_miss(tmp_path):
+    rng = random.Random(0xD16)
+    runner, spec, metrics, path = _stored(tmp_path, rng)
+    manifest = json.loads(path.read_text())
+    stripped = {k: v for k, v in manifest.items() if k != "metrics_sha256"}
+    path.write_text(json.dumps(stripped))
+    assert runner.load_cached(spec) is None
+    manifest["metrics_sha256"] = "0" * 64
+    path.write_text(json.dumps(manifest))
+    assert runner.load_cached(spec) is None
+
+
+def test_spec_mismatch_is_a_miss(tmp_path):
+    """A manifest for one spec must never satisfy another's key slot."""
+    rng = random.Random(0x5BEC)
+    runner, spec, metrics, path = _stored(tmp_path, rng)
+    manifest = json.loads(path.read_text())
+    manifest["spec"]["seed"] = manifest["spec"]["seed"] + 1
+    path.write_text(json.dumps(manifest))
+    assert runner.load_cached(spec) is None
+
+
+def test_truncated_manifest_is_a_miss_then_reexecutes(tmp_path):
+    """The runner transparently re-executes over a truncated entry."""
+    cache = str(tmp_path / "cache")
+    spec = RunSpec(experiment="probe", protocol="mnp", scale="smoke",
+                   seed=41)
+    first = Runner(workers=0, cache_dir=cache)
+    (metrics,) = first.run([spec])
+    path = tmp_path / "cache" / f"{spec.cache_key()}.json"
+    path.write_bytes(path.read_bytes()[:25])
+
+    second = Runner(workers=0, cache_dir=cache)
+    assert second.load_cached(spec) is None
+    (again,) = second.run([spec])
+    assert second.stats.hits == 0 and second.stats.misses == 1
+    assert again == metrics
+    # The re-execution healed the cache entry.
+    third = Runner(workers=0, cache_dir=cache)
+    assert third.load_cached(spec) == metrics
+
+
+# ----------------------------------------------------------------------
+# In-batch fan-in
+# ----------------------------------------------------------------------
+def test_in_batch_duplicates_execute_once(tmp_path):
+    lines = []
+    runner = Runner(workers=0, cache_dir=str(tmp_path / "cache"),
+                    progress=lines.append)
+    a = RunSpec(experiment="probe", protocol="mnp", scale="smoke", seed=51)
+    b = RunSpec(experiment="probe", protocol="mnp", scale="smoke", seed=52)
+    results = runner.run([a, b, a, a])
+    assert runner.stats.misses == 2       # unique executions only
+    assert runner.stats.shared == 2       # in-batch subscribers
+    assert results[0] == results[2] == results[3]
+    assert results[0] != results[1]
+    assert sum(1 for line in lines if "done" in line) == 2
+    assert sum(1 for line in lines if "shared" in line) == 2
+    # Subscribers got copies, not aliases: mutating one result must not
+    # leak into another tenant's view.
+    results[2]["coverage"] = "mutated"
+    assert results[0]["coverage"] == 1.0

@@ -1,0 +1,233 @@
+"""Malformed-input fuzz for the service's HTTP front end.
+
+The accept loop is the service's single point of failure: one wedged
+connection handler, one unhandled parse error, and every tenant is
+locked out.  So this file throws structured garbage at a live server --
+truncated request heads, bodies shorter than their Content-Length,
+unparseable JSON, unknown experiments, oversized payloads -- and after
+*every* case asserts the same two things: the offender got a structured
+``{"error": ...}`` response with the right status code, and the
+service still answers ``/healthz`` and still executes a valid job.
+
+A seeded random-bytes fuzz loop (same idiom as ``test_codec_fuzz.py``)
+closes the file: whatever the bytes, the listener survives.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.service import Service
+from repro.service.client import ServiceClient
+
+pytestmark = pytest.mark.slow  # real sockets
+
+#: Small limits so oversize/timeout cases are fast to trigger.
+MAX_BODY = 2048
+BODY_TIMEOUT_S = 0.25
+
+
+def _request(body, path="/v1/jobs", method="POST", headers=()):
+    encoded = body if isinstance(body, bytes) else body.encode()
+    head = [f"{method} {path} HTTP/1.1", f"Content-Length: {len(encoded)}"]
+    head.extend(headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + encoded
+
+
+async def _exchange(host, port, payload, half_close=False, hold=False):
+    """Send raw bytes; return whatever single response comes back."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    if half_close:
+        writer.write_eof()          # FIN: the body ends here, truncated
+    try:
+        data = await asyncio.wait_for(reader.read(65536), timeout=5.0)
+    except asyncio.TimeoutError:
+        data = b""
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return data
+
+
+def _parse(raw):
+    """(status, error-slug) from a raw HTTP response, or (None, None).
+
+    Junk containing an embedded blank line can read as *pipelined*
+    requests and draw several responses in one read; honour the first
+    response's Content-Length so its body parses cleanly.
+    """
+    if not raw:
+        return None, None
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = None
+    for line in head.split(b"\r\n")[1:]:
+        name, sep, value = line.partition(b":")
+        if sep and name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    body = rest if length is None else rest[:length]
+    try:
+        payload = json.loads(body.decode())
+    except (UnicodeDecodeError, ValueError):
+        payload = {}
+    return status, payload.get("error")
+
+
+async def _alive_and_working(host, port):
+    """The real postcondition: liveness AND a full job round-trip."""
+    client = ServiceClient(host, port)
+    try:
+        health = await client.health()
+        assert health["ok"] is True
+        submitted = await client.submit(
+            {"experiment": "probe", "protocol": "mnp", "scale": "smoke",
+             "seed": 0, "overrides": {}})
+        record = await client.wait(submitted["job"], timeout_s=60)
+        assert record["status"] == "done"
+    finally:
+        await client.close()
+
+
+async def _with_service(tmp_path, body):
+    svc = Service(workers=1, cache_dir=str(tmp_path / "cache"),
+                  max_body=MAX_BODY, body_timeout_s=BODY_TIMEOUT_S)
+    host, port = await svc.start(port=0)
+    try:
+        await body(host, port)
+        await _alive_and_working(host, port)
+    finally:
+        await svc.stop(drain=True)
+
+
+# ----------------------------------------------------------------------
+# One named case per failure mode
+# ----------------------------------------------------------------------
+MALFORMED_CASES = {
+    "binary-garbage": (
+        b"\x00\x7f\xffnot http at all\r\n\r\n",
+        400, "malformed-request-line", {}),
+    "missing-version": (
+        b"GET\r\n\r\n", 400, "malformed-request-line", {}),
+    "header-without-colon": (
+        b"POST /v1/jobs HTTP/1.1\r\nBrokenHeader\r\n\r\n",
+        400, "malformed-header", {}),
+    "negative-content-length": (
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        400, "malformed-content-length", {}),
+    "unparseable-content-length": (
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        400, "malformed-content-length", {}),
+    "truncated-body": (
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"tr",
+        400, "truncated-body", {"half_close": True}),
+    "stalled-body": (
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"sl",
+        408, "body-timeout", {"hold": True}),
+    "oversized-body": (
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n",
+        413, "oversized-body", {}),
+    "oversized-head": (
+        b"POST /v1/jobs HTTP/1.1\r\nX-Junk: " + b"j" * (MAX_BODY + 70000),
+        431, "oversized-head", {}),
+    "empty-body": (_request(""), 400, "empty-body", {}),
+    "bad-json": (_request("{not json!"), 400, "malformed-json", {}),
+    "json-but-not-object": (_request("[1, 2, 3]"),
+                            400, "malformed-json", {}),
+    "spec-not-object": (_request('{"kind": "run", "spec": 5}'),
+                        400, "malformed-spec", {}),
+    "unknown-kind": (_request('{"kind": "zap", "spec": {}}'),
+                     400, "unknown-kind", {}),
+    "unknown-experiment": (
+        _request('{"kind": "run", "spec": {"experiment": "nope"}}'),
+        400, "unknown-experiment", {}),
+    "overrides-not-object": (
+        _request('{"kind": "run", '
+                 '"spec": {"experiment": "probe", "overrides": 7}}'),
+        400, "malformed-spec", {}),
+    "sweep-seeds-not-list": (
+        _request('{"kind": "sweep", '
+                 '"spec": {"experiment": "probe", "seeds": "0-4"}}'),
+        400, "malformed-spec", {}),
+    "sweep-too-wide": (
+        _request(json.dumps({"kind": "sweep",
+                             "spec": {"experiment": "probe",
+                                      "seeds": list(range(300))}})),
+        413, "oversized-sweep", {}),
+    "unknown-job": (_request("", path="/v1/jobs/feedbeef", method="GET"),
+                    404, "unknown-job", {}),
+    "unknown-endpoint": (_request("", path="/v2/nope", method="GET"),
+                         404, "unknown-endpoint", {}),
+    "method-not-allowed": (_request('{"x": 1}', path="/v1/jobs",
+                                    method="PUT"),
+                           405, "method-not-allowed", {}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MALFORMED_CASES))
+def test_malformed_input_gets_structured_error(tmp_path, name):
+    payload, want_status, want_error, opts = MALFORMED_CASES[name]
+
+    async def body(host, port):
+        raw = await _exchange(host, port, payload, **opts)
+        status, error = _parse(raw)
+        assert status == want_status, (name, raw[:200])
+        assert error == want_error, (name, raw[:200])
+
+    asyncio.run(_with_service(tmp_path, body))
+
+
+def test_protocol_errors_do_not_kill_keep_alive_peers(tmp_path):
+    """One tenant's garbage must not disturb another's open connection."""
+
+    async def body(host, port):
+        client = ServiceClient(host, port)
+        try:
+            submitted = await client.submit(
+                {"experiment": "probe", "protocol": "mnp",
+                 "scale": "smoke", "seed": 1, "overrides": {}})
+            # A second connection goes down in flames...
+            await _exchange(host, port, b"\x01\x02\x03\r\n\r\n")
+            # ...while the first finishes its job undisturbed, on the
+            # very same keep-alive socket.
+            record = await client.wait(submitted["job"], timeout_s=60)
+            assert record["status"] == "done"
+        finally:
+            await client.close()
+
+    asyncio.run(_with_service(tmp_path, body))
+
+
+def test_seeded_garbage_fuzz_never_wedges_the_listener(tmp_path):
+    """Random bytes, seeded: whatever arrives, the service survives."""
+    rng = random.Random(0xF522)
+
+    async def body(host, port):
+        for _ in range(30):
+            n = rng.randrange(1, 400)
+            blob = bytes(rng.randrange(256) for _ in range(n))
+            roll = rng.random()
+            if roll < 0.35:
+                # Half-valid: a real request line, then junk.
+                payload = b"POST /v1/jobs HTTP/1.1\r\n" + blob
+            elif roll < 0.55:
+                # Valid framing, junk body.
+                payload = _request(blob)
+            else:
+                payload = blob
+            if not payload.endswith(b"\r\n\r\n"):
+                payload += b"\r\n\r\n"
+            raw = await _exchange(host, port, payload)
+            status, error = _parse(raw)
+            # Any answer must be a structured error (or a clean
+            # hang-up); 500s would mean an unhandled parser crash.
+            if status is not None:
+                assert status in (400, 404, 405, 408, 413, 431, 503)
+                assert isinstance(error, str) and error
+
+    asyncio.run(_with_service(tmp_path, body))
